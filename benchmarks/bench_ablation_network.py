@@ -1,0 +1,48 @@
+"""Ablation — network latency sensitivity.
+
+The paper proposes WAN evaluation as future work (§5). This sweep scales the
+LAN latency toward WAN figures and shows how the synchronous
+execute-at-every-replica design amplifies latency — the motivation for that
+future work.
+"""
+
+from repro.config import NetworkConfig, SystemConfig
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.workload import WorkloadSpec
+
+from .conftest import run_once
+
+LATENCIES_MS = (0.25, 1.0, 5.0, 20.0)
+
+
+def _sweep():
+    out = {}
+    for latency in LATENCIES_MS:
+        cfg = ExperimentConfig(
+            protocol="xdgl",
+            n_sites=4,
+            replication="partial",
+            db_bytes=100_000,
+            workload=WorkloadSpec(n_clients=10, update_tx_ratio=0.2),
+            system=SystemConfig().with_(
+                client_think_ms=1.0,
+                network=NetworkConfig(latency_ms=latency),
+            ),
+        )
+        out[latency] = run_experiment(cfg)
+    return out
+
+
+def test_ablation_network_latency(benchmark):
+    runs = run_once(benchmark, _sweep)
+    print()
+    print("network latency sweep (10 clients, 20% updates):")
+    for latency, run in runs.items():
+        print(
+            f"  {latency:6.2f} ms: response={run.mean_response_ms():8.2f} ms  "
+            f"committed={len(run.committed)}  deadlocks={run.total_deadlocks}"
+        )
+    resp = [runs[l].mean_response_ms() for l in LATENCIES_MS]
+    assert resp == sorted(resp), f"response should grow with latency: {resp}"
+    # WAN-scale latency should dominate: >5x the LAN response time.
+    assert resp[-1] > 5 * resp[0]

@@ -1,0 +1,20 @@
+"""E3 — Fig. 10: response time and deadlocks vs update percentage.
+
+50 clients, update-transaction share swept 20-60 % (20 % update operations
+within each update transaction), partial replication. Paper shape: XDGL
+response stays low while tree locks climb; XDGL shows *more* deadlocks (its
+finer granularity admits more concurrency, hence more conflicts).
+"""
+
+from repro.experiments import check_fig10, fig10
+
+from .conftest import run_once
+
+
+def test_fig10_variation_in_update_percentage(benchmark):
+    fig = run_once(benchmark, fig10)
+    print()
+    print(fig.render("response_ms"))
+    print(fig.render("deadlocks", fmt="{:.0f}"))
+    for note in check_fig10(fig):
+        print(" ", note)

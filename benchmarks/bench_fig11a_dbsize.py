@@ -1,0 +1,20 @@
+"""E4 — Fig. 11(a): response time and deadlocks vs database size.
+
+Base size swept over the paper's 50-200 MB range (scaled 400:1), 4 sites,
+partial replication, 20 % update transactions. Paper shape: tree-lock
+response grows with the base (more nodes => more locks) while XDGL, locking
+a schema-sized DataGuide, stays well below.
+"""
+
+from repro.experiments import check_fig11a, fig11a
+
+from .conftest import run_once
+
+
+def test_fig11a_variation_in_base_size(benchmark):
+    fig = run_once(benchmark, fig11a)
+    print()
+    print(fig.render("response_ms"))
+    print(fig.render("deadlocks", fmt="{:.0f}"))
+    for note in check_fig11a(fig):
+        print(" ", note)

@@ -1,0 +1,18 @@
+"""E5 — Fig. 11(b): response time vs number of sites.
+
+The scaled 40 MB base fragmented over 2-8 sites, partial replication, 20 %
+update transactions. Paper shape: DTX response time drops as sites grow
+(data spreads, parallelism rises); tree locks stay worse throughout.
+"""
+
+from repro.experiments import check_fig11b, fig11b
+
+from .conftest import run_once
+
+
+def test_fig11b_variation_in_number_of_sites(benchmark):
+    fig = run_once(benchmark, fig11b)
+    print()
+    print(fig.render("response_ms"))
+    for note in check_fig11b(fig):
+        print(" ", note)

@@ -1,0 +1,21 @@
+"""E1 — Fig. 8: fragmentation and data allocation.
+
+Regenerates the paper's allocation table: the (scaled) 40 MB XMark base
+split into size-balanced fragments for 2/4/8 sites.
+"""
+
+from repro.experiments import fig8
+
+from .conftest import run_once
+
+
+def test_fig8_fragmentation(benchmark):
+    result = run_once(benchmark, fig8)
+    print()
+    print(result.render())
+    for n_sites, ratio in sorted(result.balance_ratios.items()):
+        print(f"  balance ratio @ {n_sites} sites: {ratio:.2f}")
+        # Paper's contract: "each generated fragment has a similar size".
+        assert ratio < 1.6
+    site_counts = {n for n, _, _ in result.rows}
+    assert site_counts == {2, 4, 8}

@@ -1,0 +1,18 @@
+"""E2 — Fig. 9: response time vs number of clients.
+
+10-50 read-only clients (5 transactions x 5 operations each), XDGL vs
+Node2PL, under total and partial replication on 4 sites. Paper shape: DTX
+(XDGL) below tree locks everywhere; partial replication below total.
+"""
+
+from repro.experiments import check_fig9, fig9
+
+from .conftest import run_once
+
+
+def test_fig9_variation_in_number_of_clients(benchmark):
+    fig = run_once(benchmark, fig9)
+    print()
+    print(fig.render("response_ms"))
+    for note in check_fig9(fig):
+        print(" ", note)

@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the substrates: parser, XPath, DataGuide, lock table.
+
+These are conventional pytest-benchmark timings (many rounds) — they guard
+the constant factors the figure experiments stand on.
+"""
+
+import pytest
+
+from repro.dataguide import DataGuide
+from repro.deadlock import WaitForGraph
+from repro.locking import XDGL_MATRIX, LockMode, LockTable
+from repro.update import InsertOp, apply_update
+from repro.workload import generate_xmark
+from repro.xml import parse_document, serialize_document
+from repro.xpath import evaluate
+
+DOC_BYTES = 60_000
+
+
+@pytest.fixture(scope="module")
+def xmark_doc():
+    doc, _ = generate_xmark(DOC_BYTES)
+    return doc
+
+
+@pytest.fixture(scope="module")
+def xmark_text(xmark_doc):
+    return serialize_document(xmark_doc)
+
+
+def test_bench_parse_document(benchmark, xmark_text):
+    doc = benchmark(parse_document, xmark_text)
+    assert doc.root.tag == "site"
+
+
+def test_bench_serialize_document(benchmark, xmark_doc):
+    text = benchmark(serialize_document, xmark_doc)
+    assert text.startswith("<site>")
+
+
+def test_bench_xpath_child_steps(benchmark, xmark_doc):
+    result = benchmark(evaluate, "/site/people/person/name", xmark_doc)
+    assert result
+
+
+def test_bench_xpath_descendant_with_predicate(benchmark, xmark_doc):
+    result = benchmark(evaluate, "//closed_auction[price>=50]", xmark_doc)
+    assert isinstance(result, list)
+
+
+def test_bench_dataguide_build(benchmark, xmark_doc):
+    guide = benchmark(DataGuide.build, xmark_doc)
+    # The whole point of XDGL: the guide is tiny relative to the data.
+    assert guide.node_count() < len(xmark_doc) / 10
+
+
+def test_bench_dataguide_incremental_insert(benchmark, xmark_doc):
+    guide = DataGuide.build(xmark_doc)
+    op = InsertOp("<person id='bench'><name>B</name></person>", "/site/people")
+
+    def insert_and_sync():
+        changes = apply_update(op, xmark_doc)
+        for c in changes:
+            guide.apply_change(c)
+        for c in reversed(changes):
+            guide.undo_change(c)
+        for c in changes:
+            c.node.detach()
+
+    benchmark(insert_and_sync)
+
+
+def test_bench_lock_table_acquire_release(benchmark):
+    table = LockTable(XDGL_MATRIX)
+    keys = [("d", ("site", "people", "person", str(i))) for i in range(64)]
+
+    def cycle():
+        for i, key in enumerate(keys):
+            table.try_acquire(key, "tx", LockMode.ST if i % 2 else LockMode.IS)
+        table.release_transaction("tx")
+
+    benchmark(cycle)
+    assert table.is_empty()
+
+
+def test_bench_wfg_cycle_detection(benchmark):
+    g = WaitForGraph()
+    n = 200
+    for i in range(n - 1):
+        g.add_edge(f"t{i}", f"t{i + 1}")
+    g.add_edge(f"t{n - 1}", "t0")  # one big cycle
+
+    cycle = benchmark(g.find_any_cycle)
+    assert cycle is not None and len(cycle) == n

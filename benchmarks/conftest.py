@@ -1,0 +1,14 @@
+"""Shared benchmark helpers.
+
+Figure benchmarks run whole experiment sweeps, so each is executed exactly
+once per session (``rounds=1``) — the numbers of interest are the *simulated*
+metrics printed in the tables, not the harness wall time. Set ``REPRO_FULL=1``
+for paper-density sweeps.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,101 @@
+"""Plugging a custom concurrency protocol into DTX.
+
+The paper stresses DTX's flexibility: "the only modifications made to DTX
+were: the lock/document representation structure and the lock
+application/release rules by operation. During these modifications DTX
+proved quite flexible to changes to new protocols."
+
+This example implements exactly such a swap: a *container-level* protocol
+that locks the second-level containers of a document (e.g. ``/site/people``,
+``/site/regions/europe``) — coarser than XDGL, finer than DocLock2PL — in
+under 60 lines, registers it, and races it against the built-ins.
+
+Run:  python examples/custom_protocol.py
+"""
+
+from repro import SystemConfig, register_protocol
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.locking import DOC_MATRIX, DocLockMode, LockSpec
+from repro.protocols import ConcurrencyProtocol
+from repro.update import InsertOp, TransposeOp
+from repro.workload import WorkloadSpec, render_comparison
+from repro.xpath import match_structure
+from repro.xpath.parser import parse_xpath
+
+
+class ContainerLockProtocol(ConcurrencyProtocol):
+    """S/X locks at the granularity of top-level containers.
+
+    The lock key for any operation is the first one or two steps of its
+    target path — ``/site/people/person[...]/name`` locks ``('site',
+    'people')``. Reads take S, updates take X.
+    """
+
+    name = "containerlock"
+
+    def __init__(self):
+        self._known: set[str] = set()
+
+    @property
+    def matrix(self):
+        return DOC_MATRIX  # plain S/X semantics are all we need
+
+    def register_document(self, doc):
+        self._known.add(doc.name)
+
+    def drop_document(self, doc_name):
+        self._known.discard(doc_name)
+
+    def _container_key(self, doc_name, path):
+        if isinstance(path, str):
+            path = parse_xpath(path)
+        names = [
+            s.test.name
+            for s in path.steps[:2]
+            if s.test.name not in ("", "*")
+        ]
+        return (doc_name, tuple(names) or ("<root>",))
+
+    def lock_spec_for_query(self, doc_name, path):
+        spec = LockSpec(nodes_visited=2)
+        spec.add(self._container_key(doc_name, path), DocLockMode.S)
+        return spec
+
+    def lock_spec_for_update(self, doc_name, op):
+        spec = LockSpec(nodes_visited=2)
+        if isinstance(op, TransposeOp):
+            spec.add(self._container_key(doc_name, op.source), DocLockMode.X)
+            spec.add(self._container_key(doc_name, op.destination), DocLockMode.X)
+        elif isinstance(op, InsertOp):
+            spec.add(self._container_key(doc_name, op.target), DocLockMode.X)
+        else:
+            spec.add(self._container_key(doc_name, op.target), DocLockMode.X)
+        return spec.deduplicated()
+
+
+def main() -> None:
+    register_protocol("containerlock", ContainerLockProtocol)
+
+    runs = {}
+    for protocol in ("xdgl", "containerlock", "doclock2pl"):
+        cfg = ExperimentConfig(
+            protocol=protocol,
+            n_sites=4,
+            replication="partial",
+            db_bytes=80_000,
+            workload=WorkloadSpec(n_clients=16, update_tx_ratio=0.3),
+            system=SystemConfig().with_(client_think_ms=1.0),
+        )
+        print(f"running {protocol} ...")
+        runs[protocol] = run_experiment(cfg)
+
+    print()
+    print(render_comparison("custom protocol vs built-ins (16 clients, 30% updates)", runs))
+    print()
+    print("containerlock sits between whole-document and DataGuide locking:")
+    for p in ("doclock2pl", "containerlock", "xdgl"):
+        print(f"  {p:>14}: {runs[p].mean_response_ms():8.2f} ms mean response")
+
+
+if __name__ == "__main__":
+    main()

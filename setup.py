@@ -1,0 +1,5 @@
+"""Shim for legacy editable installs (no `wheel` package in this environment)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""DTX — a distributed concurrency control mechanism for XML data.
+
+Reproduction of Moreira, Sousa & Machado (ICPP Workshops 2009; extended in
+J. Comput. Syst. Sci. 77, 2011). See README.md for a tour and DESIGN.md for
+the system inventory.
+
+Public API highlights
+---------------------
+* :class:`DTXCluster` — assemble sites, documents and clients; run.
+* :class:`Transaction` / :class:`Operation` — the workload unit.
+* :func:`make_protocol` / :func:`register_protocol` — concurrency protocols
+  (``xdgl``, ``node2pl``, ``doclock2pl`` built in).
+* :mod:`repro.xml`, :mod:`repro.xpath`, :mod:`repro.update` — the XML
+  substrate (tree model, XPath subset, update language).
+* :mod:`repro.workload` — XMark-style generator and the DTXTester simulator.
+* :mod:`repro.experiments` — the paper's evaluation (Figs. 8-12).
+"""
+
+from .config import CostConfig, NetworkConfig, SystemConfig
+from .core import (
+    Client,
+    ClientTxRecord,
+    DTXCluster,
+    DTXSite,
+    Operation,
+    OpKind,
+    RunResult,
+    Transaction,
+    TxId,
+    TxOutcome,
+    TxState,
+)
+from .protocols import (
+    ConcurrencyProtocol,
+    available_protocols,
+    make_protocol,
+    register_protocol,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Client",
+    "ClientTxRecord",
+    "ConcurrencyProtocol",
+    "CostConfig",
+    "DTXCluster",
+    "DTXSite",
+    "NetworkConfig",
+    "OpKind",
+    "Operation",
+    "RunResult",
+    "SystemConfig",
+    "Transaction",
+    "TxId",
+    "TxOutcome",
+    "TxState",
+    "available_protocols",
+    "make_protocol",
+    "register_protocol",
+    "__version__",
+]

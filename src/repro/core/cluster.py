@@ -1,0 +1,181 @@
+"""Cluster assembly: sites + network + catalog + clients + detector.
+
+The top-level convenience API of the reproduction. A typical use::
+
+    from repro import DTXCluster, Operation, Transaction
+
+    cluster = DTXCluster(protocol="xdgl")
+    cluster.add_site("s1", [people_doc])
+    cluster.add_site("s2", [people_doc, products_doc])
+    cluster.add_client("c1", "s1", [Transaction([...])])
+    result = cluster.run()
+
+Each site gets its own protocol instance, storage backend, lock table and
+wait-for graph; the deadlock detector runs on the first site added.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional, Sequence
+
+from ..config import DEFAULT_CONFIG, SystemConfig
+from ..distribution.allocation import Allocation
+from ..distribution.catalog import Catalog
+from ..errors import ConfigError
+from ..protocols import ConcurrencyProtocol, make_protocol
+from ..sim.environment import Environment
+from ..sim.network import Network
+from ..storage.base import StorageBackend
+from ..storage.memory import InMemoryStore
+from ..xml.model import Document
+from .client import Client
+from .detector import DeadlockDetector
+from .results import RunResult
+from .site import DTXSite
+from .transaction import Transaction
+
+
+class DTXCluster:
+    def __init__(
+        self,
+        protocol: str = "xdgl",
+        config: Optional[SystemConfig] = None,
+        env: Optional[Environment] = None,
+        backend_factory: Optional[Callable[[], StorageBackend]] = None,
+    ):
+        self.config = config or DEFAULT_CONFIG
+        self.config.validate()
+        self.protocol_name = protocol
+        self.env = env if env is not None else Environment()
+        self.network = Network(self.env, self.config.network, seed=self.config.seed)
+        self.catalog = Catalog()
+        self.sites: dict[Hashable, DTXSite] = {}
+        self.clients: list[Client] = []
+        self.detector: Optional[DeadlockDetector] = None
+        self._backend_factory = backend_factory or InMemoryStore
+        self._started = False
+
+    # -- construction ------------------------------------------------------
+
+    def add_site(self, site_id: Hashable, documents: Sequence[Document] = ()) -> DTXSite:
+        """Create a DTX instance at ``site_id`` hosting copies of ``documents``."""
+        if self._started:
+            raise ConfigError("cannot add sites after the cluster started")
+        if site_id in self.sites:
+            raise ConfigError(f"site {site_id!r} already exists")
+        protocol: ConcurrencyProtocol = make_protocol(self.protocol_name)
+        site = DTXSite(
+            env=self.env,
+            network=self.network,
+            site_id=site_id,
+            protocol=protocol,
+            backend=self._backend_factory(),
+            catalog=self.catalog,
+            config=self.config,
+        )
+        self.sites[site_id] = site
+        for doc in documents:
+            self.host_document(site_id, doc)
+        return site
+
+    def host_document(self, site_id: Hashable, doc: Document) -> None:
+        """Place a copy of ``doc`` at ``site_id`` and update the catalog."""
+        site = self.sites[site_id]
+        site.host_document(doc.clone())
+        if self.catalog.has_document(doc.name):
+            existing = self.catalog.sites_for(doc.name)
+            if site_id not in existing:
+                self.catalog.add(doc.name, (*existing, site_id))
+        else:
+            self.catalog.add(doc.name, (site_id,))
+
+    @classmethod
+    def from_allocation(
+        cls,
+        allocation: Allocation,
+        protocol: str = "xdgl",
+        config: Optional[SystemConfig] = None,
+    ) -> "DTXCluster":
+        """Build a cluster directly from an :class:`Allocation`."""
+        cluster = cls(protocol=protocol, config=config)
+        for site_id in sorted(allocation.site_documents, key=str):
+            cluster.add_site(site_id)
+        # Adopt the allocation's catalog wholesale (placement is authoritative).
+        for site_id, docs in allocation.site_documents.items():
+            for doc in docs:
+                cluster.sites[site_id].host_document(doc.clone())
+        for doc_name in allocation.catalog.all_documents():
+            cluster.catalog.add(doc_name, allocation.catalog.sites_for(doc_name))
+        return cluster
+
+    def add_client(
+        self, client_id: Hashable, site_id: Hashable, transactions: list[Transaction]
+    ) -> Client:
+        client = Client(
+            client_id=client_id,
+            site=self.sites[site_id],
+            transactions=transactions,
+            config=self.config,
+        )
+        self.clients.append(client)
+        return client
+
+    # -- execution -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the deadlock detector (first site added runs it)."""
+        if self._started:
+            return
+        self._started = True
+        if self.sites:
+            first = next(iter(self.sites.values()))
+            self.detector = DeadlockDetector(
+                site=first, all_site_ids=list(self.sites), config=self.config
+            )
+
+    def run(
+        self, until: Optional[float] = None, label: str = "", drain_ms: float = 5.0
+    ) -> RunResult:
+        """Run until every client finished (or until a time horizon).
+
+        After the last client completes, the simulation runs ``drain_ms``
+        longer so in-flight messages (fail notices, final acks, wake
+        notices) are delivered before results are collected.
+        """
+        self.start()
+        if self.clients:
+            everyone = self.env.all_of([c.process for c in self.clients])
+            if until is not None:
+                self.env.run(until=until)
+            else:
+                self.env.run(until=everyone)
+                if drain_ms > 0:
+                    self.env.run(until=self.env.now + drain_ms)
+        elif until is not None:
+            self.env.run(until=until)
+        return self.collect_results(label=label)
+
+    def collect_results(self, label: str = "") -> RunResult:
+        result = RunResult(
+            duration_ms=self.env.now,
+            protocol=self.protocol_name,
+            label=label,
+        )
+        for client in self.clients:
+            result.records.extend(client.records)
+        result.site_stats = {sid: site.stats for sid, site in self.sites.items()}
+        result.network_messages = self.network.stats.messages
+        result.network_bytes = self.network.stats.bytes
+        if self.detector is not None:
+            result.detector_sweeps = self.detector.stats.sweeps
+            result.distributed_deadlocks = self.detector.stats.deadlocks_found
+        return result
+
+    # -- inspection ----------------------------------------------------------------
+
+    def site(self, site_id: Hashable) -> DTXSite:
+        return self.sites[site_id]
+
+    def document_at(self, site_id: Hashable, doc_name: str) -> Document:
+        """The live in-memory document at a site (tests inspect replicas)."""
+        return self.sites[site_id].data_manager.document(doc_name)

@@ -1,0 +1,86 @@
+"""Per-site, per-transaction bookkeeping.
+
+A :class:`SiteTxContext` exists at every site where a transaction has
+executed at least one operation: it owns the undo log, the per-operation
+applied-change records (for DataGuide re-sync on rollback) and the lock pairs
+each operation newly acquired (so a *single* operation can be backed out when
+it fails to lock at a sibling site, per Algorithm 1 l. 16).
+
+A :class:`CoordinatorRecord` exists only at the coordinator site and tracks
+the in-flight protocol state of Algorithm 1: the current attempt number,
+outstanding participant responses, acknowledgement collection for
+undo/commit/abort rounds, and the wake/abort signalling used when the
+transaction is in wait mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Optional
+
+from ..update.operations import AppliedChange
+from ..update.undo import UndoLog
+from .transaction import Transaction, TxId
+
+
+@dataclass
+class OpEntry:
+    """What one executed operation did at this site."""
+
+    doc_name: str
+    undo_count: int = 0  # undo-log entries appended by this operation
+    changes: list[AppliedChange] = field(default_factory=list)
+    lock_pairs: list = field(default_factory=list)  # (key, mode) newly granted
+    executed: bool = False
+
+
+@dataclass
+class SiteTxContext:
+    tid: TxId
+    coordinator: Hashable
+    undo: UndoLog = field(default_factory=UndoLog)
+    op_entries: dict[int, OpEntry] = field(default_factory=dict)
+
+    def touched_doc_names(self) -> list[str]:
+        """Documents with data effects at this site (need persisting/undo)."""
+        out: list[str] = []
+        for idx in sorted(self.op_entries):
+            entry = self.op_entries[idx]
+            if entry.undo_count and entry.doc_name not in out:
+                out.append(entry.doc_name)
+        return out
+
+
+class _AbortTx(Exception):
+    """Internal control flow: unwind Algorithm 1 into the abort procedure."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class CoordinatorRecord:
+    tx: Transaction
+    tid: TxId
+    deliver: Callable[[Any], None]  # called with the TxOutcome at the end
+
+    # wake signalling (wait mode)
+    wake_event: Optional[Any] = None
+    wake_pending: bool = False
+
+    # abort signalling (deadlock detector / timeouts)
+    abort_requested: bool = False
+    abort_reason: str = ""
+
+    # remote-operation response collection
+    attempt: int = 0
+    expected: set = field(default_factory=set)
+    responses: dict = field(default_factory=dict)
+    response_event: Optional[Any] = None
+
+    # ack collection for undo / commit / abort rounds
+    phase: str = ""  # '', 'undo', 'commit', 'abort'
+    ack_expected: set = field(default_factory=set)
+    acks: dict = field(default_factory=dict)
+    ack_event: Optional[Any] = None

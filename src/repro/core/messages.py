@@ -1,0 +1,201 @@
+"""Messages exchanged between DTX instances.
+
+The communication infrastructure added to XDGL for distribution (paper
+modification (i)): remote operation execution, distributed commit/abort/fail,
+wait-for-graph collection for deadlock detection, and wake notices when locks
+are released.
+
+Messages carry live Python objects (this is an in-process simulation); each
+class reports a realistic ``size_bytes`` so the network model charges
+plausible transfer times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from .transaction import Operation, TxId
+
+_HEADER_BYTES = 48  # message envelope: ids, types, routing
+
+
+@dataclass
+class RemoteOpRequest:
+    """Coordinator -> participant: execute one operation (Alg. 1 l. 13)."""
+
+    tid: TxId
+    coordinator: Hashable
+    op: Operation
+    attempt: int  # retry counter; stale replies are dropped by attempt
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + self.op.payload_size()
+
+
+@dataclass
+class RemoteOpResult:
+    """Participant -> coordinator: outcome of a remote operation (Alg. 2 l. 13)."""
+
+    tid: TxId
+    site: Hashable
+    op_index: int
+    attempt: int
+    acquired: bool  # locks obtained?
+    executed: bool  # data effect applied?
+    deadlock: bool  # local wait-for cycle closed at the participant
+    failed: bool  # execution error
+    result_size: int = 0  # bytes of query answer shipped back
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 16 + self.result_size
+
+
+@dataclass
+class UndoOpRequest:
+    """Coordinator -> participant: back out one executed operation
+
+    (Alg. 1 l. 16: "undoes the actions on all sites where the operation was
+    carried out")."""
+
+    tid: TxId
+    coordinator: Hashable
+    op_index: int
+    attempt: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 8
+
+
+@dataclass
+class UndoOpAck:
+    tid: TxId
+    site: Hashable
+    op_index: int
+    attempt: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 8
+
+
+@dataclass
+class CommitRequest:
+    """Coordinator -> participant (Alg. 5 l. 4)."""
+
+    tid: TxId
+    coordinator: Hashable
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES
+
+
+@dataclass
+class CommitAck:
+    tid: TxId
+    site: Hashable
+    ok: bool
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 1
+
+
+@dataclass
+class AbortRequest:
+    """Coordinator -> participant (Alg. 6 l. 4)."""
+
+    tid: TxId
+    coordinator: Hashable
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES
+
+
+@dataclass
+class AbortAck:
+    tid: TxId
+    site: Hashable
+    ok: bool
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 1
+
+
+@dataclass
+class FailNotice:
+    """Coordinator -> all involved sites: transaction failed (Alg. 6 l. 7)."""
+
+    tid: TxId
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES
+
+
+@dataclass
+class WakeNotice:
+    """Participant -> coordinator: locks were released, retry waiting tx."""
+
+    tid: TxId
+    site: Hashable
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES
+
+
+@dataclass
+class WfgRequest:
+    """Detector -> every site: send me your wait-for graph (Alg. 4 l. 4)."""
+
+    requester: Hashable
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES
+
+
+@dataclass
+class WfgResponse:
+    site: Hashable
+    edges: list = field(default_factory=list)
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 24 * len(self.edges)
+
+
+@dataclass
+class AbortOrder:
+    """Detector -> victim's coordinator site: roll back this transaction
+
+    (Alg. 4 l. 7-8: "the most recently started transaction is rolled back")."""
+
+    tid: TxId
+    reason: str = "distributed-deadlock"
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + len(self.reason)
+
+
+@dataclass
+class ClientRequest:
+    """Client -> local DTX Listener: run this transaction."""
+
+    transaction: Any  # Transaction (typed loosely to avoid import cycles)
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 96 * len(self.transaction.operations)
+
+
+@dataclass
+class TxOutcome:
+    """Listener -> client: final status of a submitted transaction."""
+
+    tid: TxId
+    status: str  # 'committed' | 'aborted' | 'failed'
+    reason: str = ""
+    submitted_ts: float = 0.0
+    finished_ts: float = 0.0
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + len(self.reason)
+
+    @property
+    def committed(self) -> bool:
+        return self.status == "committed"

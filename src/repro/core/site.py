@@ -1,0 +1,644 @@
+"""A DTX instance: Listener + TransactionManager (Scheduler, LockManager) +
+DataManager, at one site.
+
+The architecture follows Fig. 1 of the paper:
+
+* the **Listener** process receives client requests and inter-scheduler
+  messages from the site's network inbox and dispatches them;
+* the **Scheduler** role is split between (a) one coordinator coroutine per
+  locally submitted transaction (Algorithm 1, plus commit/abort procedures,
+  Algorithms 5–6) and (b) a participant loop executing remote operations in
+  arrival order (Algorithm 2);
+* the **LockManager** holds the protocol's lock table plus the site's
+  wait-for graph and implements Algorithm 3;
+* the **DataManager** bridges the in-memory documents and the storage
+  backend.
+
+All CPU work is charged to the simulated clock through the cost model in
+:class:`repro.config.CostConfig`; all remote interaction flows through
+:class:`repro.sim.network.Network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional
+
+from ..config import SystemConfig
+from ..deadlock.wfg import WaitForGraph
+from ..errors import ReproError, UpdateError
+from ..locking.manager import LockManager
+from ..locking.table import LockTable
+from ..protocols.base import ConcurrencyProtocol
+from ..sim.environment import Environment
+from ..sim.network import Network
+from ..sim.queues import Store
+from ..storage.base import StorageBackend
+from ..storage.datamanager import DataManager
+from ..update.applier import apply_update
+from ..xml.model import Document
+from ..xpath.evaluator import EvalStats, evaluate
+from .context import CoordinatorRecord, OpEntry, SiteTxContext, _AbortTx
+from .messages import (
+    AbortAck,
+    AbortOrder,
+    AbortRequest,
+    ClientRequest,
+    CommitAck,
+    CommitRequest,
+    FailNotice,
+    RemoteOpRequest,
+    RemoteOpResult,
+    TxOutcome,
+    UndoOpAck,
+    UndoOpRequest,
+    WakeNotice,
+    WfgRequest,
+    WfgResponse,
+)
+from .transaction import Operation, OpKind, Transaction, TxId, TxState
+
+
+@dataclass
+class LocalResult:
+    """Outcome of executing one operation against this site's lock manager."""
+
+    acquired: bool
+    executed: bool = False
+    deadlock: bool = False
+    failed: bool = False
+    result_size: int = 0
+    cost_ms: float = 0.0
+
+
+@dataclass
+class SiteStats:
+    ops_executed: int = 0
+    ops_blocked: int = 0
+    local_deadlocks: int = 0
+    remote_ops_served: int = 0
+    commits: int = 0
+    aborts: int = 0
+    fails: int = 0
+    wake_notices_sent: int = 0
+    undo_ops: int = 0
+    coordinated: int = 0
+    peak_lock_count: int = 0
+
+
+class DTXSite:
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        site_id: Hashable,
+        protocol: ConcurrencyProtocol,
+        backend: StorageBackend,
+        catalog,
+        config: SystemConfig,
+    ):
+        self.env = env
+        self.network = network
+        self.site_id = site_id
+        self.protocol = protocol
+        self.catalog = catalog
+        self.config = config
+        self.costs = config.costs
+
+        self.inbox: Store = network.register(site_id)
+        self.data_manager = DataManager(backend)
+        self.wfg = WaitForGraph()
+        self.lock_manager = LockManager(LockTable(protocol.matrix), self.wfg)
+
+        self.tx_contexts: dict[TxId, SiteTxContext] = {}
+        self.coordinators: dict[TxId, CoordinatorRecord] = {}
+        self.finished: set[TxId] = set()
+        self.waiters: dict[TxId, Hashable] = {}  # waiting tid -> coordinator site
+        self.remote_ops: Store = Store(env)
+        self._tx_seq = 0
+        self.stats = SiteStats()
+        self.detector = None  # attached by the cluster on one site
+
+        # Fault-injection hooks for testing the abort/fail paths: tids (or
+        # '*') whose commit/abort requests this site will refuse.
+        self.refuse_commit: set = set()
+        self.refuse_abort: set = set()
+
+        env.process(self._listener())
+        env.process(self._participant_loop())
+
+    # ------------------------------------------------------------------
+    # document loading
+    # ------------------------------------------------------------------
+
+    def host_document(self, doc: Document) -> None:
+        """Install a document copy at this site (storage + memory + protocol)."""
+        self.data_manager.install(doc)
+        self.protocol.register_document(doc)
+
+    def documents_hosted(self) -> list[str]:
+        return self.data_manager.live_documents()
+
+    # ------------------------------------------------------------------
+    # client entry point
+    # ------------------------------------------------------------------
+
+    def submit(self, tx: Transaction, deliver: Callable[[TxOutcome], None]) -> None:
+        """Accept a transaction from a locally connected client."""
+        self.inbox.put(ClientRequest(transaction=tx))
+        tx.stats.submitted_ts = self.env.now
+        tx._deliver = deliver  # stashed until the coordinator record exists
+
+    # ------------------------------------------------------------------
+    # listener (Fig. 1: receives requests and inter-scheduler messages)
+    # ------------------------------------------------------------------
+
+    def _listener(self):
+        while True:
+            msg = yield self.inbox.get()
+            if isinstance(msg, ClientRequest):
+                self.env.process(self._run_transaction(msg.transaction))
+            elif isinstance(msg, RemoteOpRequest):
+                self.remote_ops.put(msg)
+            elif isinstance(msg, RemoteOpResult):
+                self._on_op_result(msg)
+            elif isinstance(msg, UndoOpRequest):
+                self.env.process(self._handle_undo_request(msg))
+            elif isinstance(msg, CommitRequest):
+                self.env.process(self._handle_commit_request(msg))
+            elif isinstance(msg, AbortRequest):
+                self.env.process(self._handle_abort_request(msg))
+            elif isinstance(msg, (UndoOpAck, CommitAck, AbortAck)):
+                self._on_ack(msg)
+            elif isinstance(msg, FailNotice):
+                self._handle_fail_notice(msg)
+            elif isinstance(msg, WakeNotice):
+                self._wake_coordinator(msg.tid)
+            elif isinstance(msg, WfgRequest):
+                self.network.send(
+                    self.site_id, msg.requester,
+                    WfgResponse(site=self.site_id, edges=self.wfg.snapshot()),
+                )
+            elif isinstance(msg, WfgResponse):
+                if self.detector is not None:
+                    self.detector.on_response(msg)
+            elif isinstance(msg, AbortOrder):
+                self._order_abort(msg.tid, msg.reason)
+            else:  # pragma: no cover - defensive
+                raise ReproError(f"site {self.site_id}: unknown message {msg!r}")
+
+    # ------------------------------------------------------------------
+    # operation execution against the local lock manager (Algorithm 3 caller)
+    # ------------------------------------------------------------------
+
+    def _execute_operation(self, tid: TxId, coordinator: Hashable, op: Operation) -> LocalResult:
+        ctx = self.tx_contexts.get(tid)
+        if ctx is None:
+            ctx = self.tx_contexts[tid] = SiteTxContext(tid=tid, coordinator=coordinator)
+        costs = self.costs
+        doc = self.data_manager.document(op.doc_name)
+
+        if op.kind is OpKind.QUERY:
+            spec = self.protocol.lock_spec_for_query(op.doc_name, op.payload)
+        else:
+            spec = self.protocol.lock_spec_for_update(op.doc_name, op.payload)
+        outcome = self.lock_manager.process_operation(tid, spec)
+        cost = (
+            spec.nodes_visited * costs.node_visit_ms
+            + (outcome.lock_ops + spec.transient_ops) * costs.lock_op_ms
+        )
+        self.stats.peak_lock_count = max(
+            self.stats.peak_lock_count, self.lock_manager.table.lock_count()
+        )
+
+        if not outcome.granted:
+            self.stats.ops_blocked += 1
+            if outcome.deadlock:
+                self.stats.local_deadlocks += 1
+            # Register the coordinator for a wake notice on the next release.
+            self.waiters[tid] = coordinator
+            return LocalResult(
+                acquired=False, deadlock=outcome.deadlock, cost_ms=cost
+            )
+
+        entry = OpEntry(doc_name=op.doc_name, lock_pairs=outcome.new_pairs)
+        eval_stats = EvalStats()
+        try:
+            if op.kind is OpKind.QUERY:
+                result = evaluate(op.payload, doc, eval_stats)
+                entry.executed = True
+                size = 96 * len(result)
+                cost += eval_stats.nodes_visited * costs.node_visit_ms
+                self.tx_contexts[tid].op_entries[op.index] = entry
+                self.stats.ops_executed += 1
+                return LocalResult(
+                    acquired=True, executed=True, result_size=size, cost_ms=cost
+                )
+            undo_before = len(ctx.undo)
+            changes = apply_update(op.payload, doc, ctx.undo, eval_stats)
+            self.protocol.after_apply(op.doc_name, changes)
+            entry.undo_count = len(ctx.undo) - undo_before
+            entry.changes = changes
+            entry.executed = True
+            cost += (
+                eval_stats.nodes_visited * costs.node_visit_ms
+                + max(1, len(changes)) * costs.update_apply_ms
+            )
+            ctx.op_entries[op.index] = entry
+            self.stats.ops_executed += 1
+            return LocalResult(acquired=True, executed=True, cost_ms=cost)
+        except UpdateError:
+            # Locks are held (released at abort); the data effect failed.
+            ctx.op_entries[op.index] = entry
+            return LocalResult(acquired=True, executed=False, failed=True, cost_ms=cost)
+
+    def _undo_operation(self, tid: TxId, op_index: int) -> float:
+        """Back out one operation's data effects and its locks."""
+        ctx = self.tx_contexts.get(tid)
+        if ctx is None or op_index not in ctx.op_entries:
+            return 0.0
+        entry = ctx.op_entries.pop(op_index)
+        cost = 0.0
+        if entry.undo_count:
+            ctx.undo.rollback_last(entry.undo_count)
+            self.protocol.after_undo(entry.doc_name, entry.changes)
+            cost += entry.undo_count * self.costs.update_apply_ms
+        for key, mode in reversed(entry.lock_pairs):
+            self.lock_manager.table.release_one(key, tid, mode)
+        cost += len(entry.lock_pairs) * self.costs.lock_op_ms
+        self.stats.undo_ops += 1
+        # Deliberately NO wake notification here: waiters are woken only when
+        # a transaction *ends* (paper §2.2: "those that entered wait mode
+        # waiting for the locks of the one that committed, start executing
+        # again"). Waking on partial-operation undo makes two crosswise
+        # writers ping-pong (win locally, fail remotely, undo, wake each
+        # other) — a livelock the end-of-transaction rule avoids; the
+        # detector resolves the resulting wait cycle instead.
+        return cost
+
+    # ------------------------------------------------------------------
+    # transaction end at this site (participant side of Algorithms 5 and 6)
+    # ------------------------------------------------------------------
+
+    def _commit_at_site(self, tid: TxId) -> float:
+        """Persist effects and release locks. Returns the simulated cost."""
+        ctx = self.tx_contexts.pop(tid, None)
+        cost = 0.0
+        if ctx is not None:
+            persisted = 0
+            for name in ctx.touched_doc_names():
+                persisted += self.data_manager.persist(name)
+            cost += (persisted / 1024.0) * self.costs.persist_per_kb_ms
+            ctx.undo.clear()
+        _, lock_ops = self.lock_manager.release_transaction(tid)
+        cost += lock_ops * self.costs.lock_op_ms
+        self.finished.add(tid)
+        self.waiters.pop(tid, None)
+        self._notify_lock_release()
+        return cost
+
+    def _abort_at_site(self, tid: TxId) -> float:
+        """Undo all effects of ``tid`` at this site and release its locks."""
+        ctx = self.tx_contexts.pop(tid, None)
+        cost = 0.0
+        if ctx is not None:
+            for op_index in sorted(ctx.op_entries, reverse=True):
+                entry = ctx.op_entries[op_index]
+                if entry.undo_count:
+                    ctx.undo.rollback_last(entry.undo_count)
+                    self.protocol.after_undo(entry.doc_name, entry.changes)
+                    cost += entry.undo_count * self.costs.update_apply_ms
+        _, lock_ops = self.lock_manager.release_transaction(tid)
+        cost += lock_ops * self.costs.lock_op_ms
+        self.finished.add(tid)
+        self.waiters.pop(tid, None)
+        self._notify_lock_release()
+        return cost
+
+    def _fail_at_site(self, tid: TxId) -> None:
+        """Transaction failed: drop state without undoing (paper: the
+        application is alerted; recovery is future work)."""
+        self.tx_contexts.pop(tid, None)
+        self.lock_manager.release_transaction(tid)
+        self.finished.add(tid)
+        self.waiters.pop(tid, None)
+        self.stats.fails += 1
+        self._notify_lock_release()
+
+    # ------------------------------------------------------------------
+    # wake management
+    # ------------------------------------------------------------------
+
+    def _notify_lock_release(self) -> None:
+        """Wake every transaction waiting at this site.
+
+        Paper §2.2: "When a transaction commits, those that entered wait mode
+        waiting for the locks of the one that committed, start executing
+        again." Waiters re-register if they block again, so spurious wakes
+        are safe.
+        """
+        for tid, coordinator in list(self.waiters.items()):
+            del self.waiters[tid]
+            if coordinator == self.site_id:
+                self._wake_coordinator(tid)
+            else:
+                self.stats.wake_notices_sent += 1
+                self.network.send(
+                    self.site_id, coordinator, WakeNotice(tid=tid, site=self.site_id)
+                )
+
+    def _wake_coordinator(self, tid: TxId) -> None:
+        rec = self.coordinators.get(tid)
+        if rec is None:
+            return
+        rec.wake_pending = True
+        if rec.wake_event is not None and not rec.wake_event.triggered:
+            rec.wake_event.succeed("wake")
+
+    def _order_abort(self, tid: TxId, reason: str) -> None:
+        """Deadlock detector chose this coordinator's transaction as victim."""
+        rec = self.coordinators.get(tid)
+        if rec is None or rec.tx.done:
+            return
+        rec.abort_requested = True
+        rec.abort_reason = reason
+        self._wake_coordinator(tid)
+
+    # ------------------------------------------------------------------
+    # participant loop (Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def _participant_loop(self):
+        while True:
+            req: RemoteOpRequest = yield self.remote_ops.get()
+            yield self.env.timeout(self.costs.scheduler_dispatch_ms)
+            if req.tid in self.finished:
+                continue  # transaction ended while the request was queued
+            result = self._execute_operation(req.tid, req.coordinator, req.op)
+            self.stats.remote_ops_served += 1
+            if result.cost_ms:
+                yield self.env.timeout(result.cost_ms)
+            self.network.send(
+                self.site_id,
+                req.coordinator,
+                RemoteOpResult(
+                    tid=req.tid,
+                    site=self.site_id,
+                    op_index=req.op.index,
+                    attempt=req.attempt,
+                    acquired=result.acquired,
+                    executed=result.executed,
+                    deadlock=result.deadlock,
+                    failed=result.failed,
+                    result_size=result.result_size,
+                ),
+            )
+
+    def _handle_undo_request(self, msg: UndoOpRequest):
+        cost = self._undo_operation(msg.tid, msg.op_index)
+        if cost:
+            yield self.env.timeout(cost)
+        else:
+            yield self.env.timeout(0)
+        self.network.send(
+            self.site_id, msg.coordinator,
+            UndoOpAck(tid=msg.tid, site=self.site_id, op_index=msg.op_index, attempt=msg.attempt),
+        )
+
+    def _handle_commit_request(self, msg: CommitRequest):
+        if "*" in self.refuse_commit or msg.tid in self.refuse_commit:
+            yield self.env.timeout(0)
+            self.network.send(
+                self.site_id, msg.coordinator, CommitAck(tid=msg.tid, site=self.site_id, ok=False)
+            )
+            return
+        cost = self._commit_at_site(msg.tid)
+        yield self.env.timeout(cost)
+        self.network.send(
+            self.site_id, msg.coordinator, CommitAck(tid=msg.tid, site=self.site_id, ok=True)
+        )
+
+    def _handle_abort_request(self, msg: AbortRequest):
+        if "*" in self.refuse_abort or msg.tid in self.refuse_abort:
+            yield self.env.timeout(0)
+            self.network.send(
+                self.site_id, msg.coordinator, AbortAck(tid=msg.tid, site=self.site_id, ok=False)
+            )
+            return
+        cost = self._abort_at_site(msg.tid)
+        yield self.env.timeout(cost)
+        self.network.send(
+            self.site_id, msg.coordinator, AbortAck(tid=msg.tid, site=self.site_id, ok=True)
+        )
+
+    def _handle_fail_notice(self, msg: FailNotice) -> None:
+        self._fail_at_site(msg.tid)
+
+    # ------------------------------------------------------------------
+    # coordinator response/ack plumbing
+    # ------------------------------------------------------------------
+
+    def _on_op_result(self, msg: RemoteOpResult) -> None:
+        rec = self.coordinators.get(msg.tid)
+        if rec is None or msg.attempt != rec.attempt:
+            return  # stale reply from a superseded attempt
+        rec.responses[msg.site] = msg
+        if (
+            rec.response_event is not None
+            and not rec.response_event.triggered
+            and set(rec.responses) >= rec.expected
+        ):
+            rec.response_event.succeed(dict(rec.responses))
+
+    def _on_ack(self, msg) -> None:
+        rec = self.coordinators.get(msg.tid)
+        if rec is None:
+            return
+        expected_phase = {
+            UndoOpAck: "undo",
+            CommitAck: "commit",
+            AbortAck: "abort",
+        }[type(msg)]
+        if rec.phase != expected_phase:
+            return
+        rec.acks[msg.site] = msg
+        if (
+            rec.ack_event is not None
+            and not rec.ack_event.triggered
+            and set(rec.acks) >= rec.ack_expected
+        ):
+            rec.ack_event.succeed(dict(rec.acks))
+
+    def _collect_acks(self, rec: CoordinatorRecord, phase: str, sites: list) -> None:
+        rec.phase = phase
+        rec.ack_expected = set(sites)
+        rec.acks = {}
+        rec.ack_event = self.env.event()
+
+    # ------------------------------------------------------------------
+    # coordinator (Algorithm 1 + commit/abort procedures, Algorithms 5-6)
+    # ------------------------------------------------------------------
+
+    def _run_transaction(self, tx: Transaction):
+        self._tx_seq += 1
+        tid = TxId(site=self.site_id, seq=self._tx_seq, start_ts=self.env.now)
+        tx.tid = tid
+        tx.state = TxState.ACTIVE
+        tx.stats.started_ts = self.env.now
+        deliver = getattr(tx, "_deliver", lambda outcome: None)
+        rec = CoordinatorRecord(tx=tx, tid=tid, deliver=deliver)
+        self.coordinators[tid] = rec
+        self.stats.coordinated += 1
+
+        status, reason = "committed", ""
+        try:
+            for op in tx.operations:
+                yield from self._run_operation(rec, op)
+            tx.state = TxState.COMMITTING
+            committed = yield from self._commit_transaction(rec)
+            if not committed:
+                raise _AbortTx("commit-refused")
+            tx.state = TxState.COMMITTED
+            self.stats.commits += 1
+        except _AbortTx as abort:
+            reason = abort.reason
+            tx.state = TxState.ABORTING
+            tx.abort_reason = reason
+            aborted_ok = yield from self._abort_transaction(rec)
+            if aborted_ok:
+                tx.state = TxState.ABORTED
+                status = "aborted"
+                self.stats.aborts += 1
+            else:
+                tx.state = TxState.FAILED
+                status = "failed"
+        finally:
+            self.coordinators.pop(tid, None)
+            self.finished.add(tid)
+        tx.stats.finished_ts = self.env.now
+        deliver(
+            TxOutcome(
+                tid=tid,
+                status=status,
+                reason=reason,
+                submitted_ts=tx.stats.submitted_ts,
+                finished_ts=self.env.now,
+            )
+        )
+
+    def _run_operation(self, rec: CoordinatorRecord, op: Operation):
+        tx = rec.tx
+        while True:
+            if rec.abort_requested:
+                raise _AbortTx(rec.abort_reason or "abort-ordered")
+            sites = list(self.catalog.sites_for(op.doc_name))
+            tx.sites_involved.update(sites)
+            yield self.env.timeout(self.costs.scheduler_dispatch_ms)
+
+            # Ship the operation to every site holding the document (the
+            # coordinator's own copy is served through the same participant
+            # path, which keeps replicas byte-identical).
+            rec.attempt += 1
+            rec.expected = set(sites)
+            rec.responses = {}
+            rec.response_event = self.env.event()
+            for site in sites:
+                self.network.send(
+                    self.site_id,
+                    site,
+                    RemoteOpRequest(tid=rec.tid, coordinator=self.site_id, op=op, attempt=rec.attempt),
+                )
+            results = yield rec.response_event
+            rec.response_event = None
+            tx.stats.op_attempts += 1
+
+            acquired_all = all(r.acquired for r in results.values())
+            any_failed = any(r.failed for r in results.values())
+            any_deadlock = any(r.deadlock for r in results.values())
+
+            if acquired_all and not any_failed:
+                op.executed = True
+                return
+
+            # Back out sites where the operation did execute (Alg. 1 l. 16).
+            executed_sites = [r.site for r in results.values() if r.executed]
+            if executed_sites:
+                self._collect_acks(rec, "undo", executed_sites)
+                for site in executed_sites:
+                    self.network.send(
+                        self.site_id,
+                        site,
+                        UndoOpRequest(
+                            tid=rec.tid, coordinator=self.site_id,
+                            op_index=op.index, attempt=rec.attempt,
+                        ),
+                    )
+                yield rec.ack_event
+                rec.phase = ""
+
+            if any_failed:
+                raise _AbortTx("operation-failed")
+            if any_deadlock:
+                raise _AbortTx("local-deadlock")
+
+            # Wait mode (Alg. 1 l. 9 / l. 17), then retry the operation.
+            tx.state = TxState.WAITING
+            tx.stats.waits += 1
+            yield from self._wait_for_wake(rec)
+            tx.state = TxState.ACTIVE
+
+    def _wait_for_wake(self, rec: CoordinatorRecord):
+        if rec.wake_pending or rec.abort_requested:
+            rec.wake_pending = False
+            return
+        rec.wake_event = self.env.event()
+        waits = [rec.wake_event]
+        timeout_ev = None
+        if self.config.lock_wait_timeout_ms > 0:
+            timeout_ev = self.env.timeout(self.config.lock_wait_timeout_ms, value="timeout")
+            waits.append(timeout_ev)
+        fired = yield self.env.any_of(waits)
+        rec.wake_event = None
+        rec.wake_pending = False
+        if timeout_ev is not None and timeout_ev in fired and not rec.abort_requested:
+            raise _AbortTx("lock-wait-timeout")
+
+    def _commit_transaction(self, rec: CoordinatorRecord):
+        """Algorithm 5. Returns True on commit, False to fall into abort."""
+        others = [s for s in rec.tx.sites_involved if s != self.site_id]
+        if others:
+            self._collect_acks(rec, "commit", others)
+            for site in others:
+                self.network.send(
+                    self.site_id, site, CommitRequest(tid=rec.tid, coordinator=self.site_id)
+                )
+            acks = yield rec.ack_event
+            rec.phase = ""
+            if not all(a.ok for a in acks.values()):
+                return False
+        cost = self._commit_at_site(rec.tid)
+        if cost:
+            yield self.env.timeout(cost)
+        return True
+
+    def _abort_transaction(self, rec: CoordinatorRecord):
+        """Algorithm 6. Returns True when the abort executed everywhere;
+        False means the transaction *failed* (fail notices were sent)."""
+        others = [s for s in rec.tx.sites_involved if s != self.site_id]
+        if others:
+            self._collect_acks(rec, "abort", others)
+            for site in others:
+                self.network.send(
+                    self.site_id, site, AbortRequest(tid=rec.tid, coordinator=self.site_id)
+                )
+            acks = yield rec.ack_event
+            rec.phase = ""
+            if not all(a.ok for a in acks.values()):
+                for site in others:
+                    self.network.send(self.site_id, site, FailNotice(tid=rec.tid))
+                self._fail_at_site(rec.tid)
+                return False
+        cost = self._abort_at_site(rec.tid)
+        if cost:
+            yield self.env.timeout(cost)
+        return True

@@ -1,0 +1,156 @@
+"""Transactions and operations.
+
+A transaction is an ordered list of operations, each targeting one document
+by name (queries are XPath expressions, updates are the five XDGL update
+operations). Operations execute strictly in order; an operation executes at
+*every* site holding a copy of its target document.
+
+Transaction ids order by start timestamp — the distributed deadlock victim
+rule ("the most recent transaction involved in the circle is rolled back")
+is literally ``max(cycle)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from functools import total_ordering
+from typing import Any, Hashable, Optional, Union
+
+from ..update.operations import UPDATE_OP_TYPES, UpdateOperation
+from ..xpath.ast import LocationPath
+from ..xpath.parser import parse_xpath
+
+
+@total_ordering
+@dataclass(frozen=True)
+class TxId:
+    """Globally unique transaction id, ordered by start time."""
+
+    site: Hashable
+    seq: int
+    start_ts: float
+
+    def _key(self) -> tuple:
+        return (self.start_ts, str(self.site), self.seq)
+
+    def __lt__(self, other: "TxId") -> bool:
+        return self._key() < other._key()
+
+    def __str__(self) -> str:
+        return f"t{self.seq}@{self.site}"
+
+
+class OpKind(Enum):
+    QUERY = "query"
+    UPDATE = "update"
+
+
+@dataclass
+class Operation:
+    """One step of a transaction, targeting one document."""
+
+    doc_name: str
+    kind: OpKind
+    payload: Union[LocationPath, UpdateOperation]
+    index: int = -1  # position within the transaction; set by Transaction
+    executed: bool = False
+    result: Any = None
+
+    @classmethod
+    def query(cls, doc_name: str, path: Union[str, LocationPath]) -> "Operation":
+        if isinstance(path, str):
+            path = parse_xpath(path)
+        return cls(doc_name=doc_name, kind=OpKind.QUERY, payload=path)
+
+    @classmethod
+    def update(cls, doc_name: str, op: UpdateOperation) -> "Operation":
+        if not isinstance(op, UPDATE_OP_TYPES):
+            raise TypeError(f"not an update operation: {op!r}")
+        return cls(doc_name=doc_name, kind=OpKind.UPDATE, payload=op)
+
+    @property
+    def is_update(self) -> bool:
+        return self.kind is OpKind.UPDATE
+
+    def payload_size(self) -> int:
+        """Rough wire size of the operation (network cost model input)."""
+        return 64 + len(str(self.payload))
+
+    def __str__(self) -> str:
+        return f"[{self.kind.value} {self.doc_name}: {self.payload}]"
+
+
+class TxState(Enum):
+    PENDING = "pending"  # submitted, not yet scheduled
+    ACTIVE = "active"  # executing operations
+    WAITING = "waiting"  # blocked on locks
+    COMMITTING = "committing"
+    COMMITTED = "committed"
+    ABORTING = "aborting"
+    ABORTED = "aborted"
+    FAILED = "failed"  # abort itself failed at some site
+
+TERMINAL_STATES = frozenset({TxState.COMMITTED, TxState.ABORTED, TxState.FAILED})
+
+
+@dataclass
+class TxStats:
+    submitted_ts: float = 0.0
+    started_ts: float = 0.0
+    finished_ts: float = 0.0
+    waits: int = 0  # times the transaction entered wait mode
+    op_attempts: int = 0
+    restarts: int = 0  # client resubmissions
+
+    @property
+    def response_ms(self) -> float:
+        return self.finished_ts - self.submitted_ts
+
+
+@dataclass
+class Transaction:
+    """A client transaction: ordered operations plus lifecycle state."""
+
+    operations: list[Operation]
+    client_id: Hashable = None
+    label: str = ""
+    tid: Optional[TxId] = None
+    state: TxState = TxState.PENDING
+    sites_involved: set = field(default_factory=set)
+    stats: TxStats = field(default_factory=TxStats)
+    abort_reason: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.operations:
+            raise ValueError("a transaction needs at least one operation")
+        for i, op in enumerate(self.operations):
+            op.index = i
+
+    @property
+    def is_update_transaction(self) -> bool:
+        return any(op.is_update for op in self.operations)
+
+    @property
+    def done(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def next_unexecuted(self) -> Optional[Operation]:
+        for op in self.operations:
+            if not op.executed:
+                return op
+        return None
+
+    def reset_for_restart(self) -> "Transaction":
+        """A fresh copy of this transaction for client resubmission."""
+        ops = [
+            Operation(doc_name=o.doc_name, kind=o.kind, payload=o.payload)
+            for o in self.operations
+        ]
+        fresh = Transaction(operations=ops, client_id=self.client_id, label=self.label)
+        fresh.stats.restarts = self.stats.restarts + 1
+        return fresh
+
+    def __str__(self) -> str:
+        name = self.label or (str(self.tid) if self.tid else "tx")
+        return f"{name}({len(self.operations)} ops, {self.state.value})"

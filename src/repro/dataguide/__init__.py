@@ -1,0 +1,5 @@
+"""Strong DataGuide structural summaries (lock representation of XDGL)."""
+
+from .guide import DataGuide, DataGuideNode, LabelPath
+
+__all__ = ["DataGuide", "DataGuideNode", "LabelPath"]

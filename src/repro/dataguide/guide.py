@@ -1,0 +1,275 @@
+"""Strong DataGuide (Goldman & Widom, VLDB '97) with incremental maintenance.
+
+A strong DataGuide of a tree-shaped XML document is a label-path trie: every
+root-to-node tag path that occurs in the document occurs **exactly once** in
+the guide, and each guide node is annotated with its *target set* — the ids
+of the document nodes reachable by that path.
+
+XDGL locks guide nodes instead of document nodes: because the guide
+summarizes arbitrarily many document nodes per label path, its size tracks
+schema complexity rather than data volume, which is the source of DTX's low
+lock-management overhead (paper §3: "it uses a summarized data structure ...
+keeps a better size structure than the original XML document").
+
+The guide is maintained incrementally from the
+:class:`~repro.update.operations.AppliedChange` records produced by the
+update applier, including pruning of guide nodes whose target set drains
+(strong-DataGuide minimality).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..errors import ReproError
+from ..update.operations import AppliedChange
+from ..xml.model import Document, Element
+
+LabelPath = tuple[str, ...]
+
+
+class DataGuideNode:
+    """One label path of the document; annotated with its target set."""
+
+    __slots__ = ("tag", "parent", "_children", "targets", "guide")
+
+    def __init__(self, tag: str, parent: Optional["DataGuideNode"] = None):
+        self.tag = tag
+        self.parent = parent
+        self._children: dict[str, DataGuideNode] = {}
+        self.targets: set[int] = set()
+        self.guide: Optional["DataGuide"] = None
+
+    @property
+    def children(self) -> tuple["DataGuideNode", ...]:
+        """Child guide nodes (order = first-seen order, deterministic)."""
+        return tuple(self._children.values())
+
+    def child(self, tag: str) -> Optional["DataGuideNode"]:
+        return self._children.get(tag)
+
+    def label_path(self) -> LabelPath:
+        parts = [self.tag]
+        cur = self.parent
+        while cur is not None:
+            parts.append(cur.tag)
+            cur = cur.parent
+        parts.reverse()
+        return tuple(parts)
+
+    def ancestors(self) -> Iterator["DataGuideNode"]:
+        cur = self.parent
+        while cur is not None:
+            yield cur
+            cur = cur.parent
+
+    def iter_subtree(self) -> Iterator["DataGuideNode"]:
+        stack: list[DataGuideNode] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(list(node._children.values())))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DataGuideNode {'/'.join(self.label_path())} targets={len(self.targets)}>"
+
+
+class DataGuide:
+    """Strong DataGuide of one document."""
+
+    def __init__(self, doc_name: str):
+        self.doc_name = doc_name
+        self.root: Optional[DataGuideNode] = None
+        self._by_path: dict[LabelPath, DataGuideNode] = {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(cls, document: Document) -> "DataGuide":
+        """Build the guide of ``document`` in one pass."""
+        guide = cls(document.name)
+        if document.root is not None:
+            for node in document.iter():
+                guide.add_document_node(node)
+        return guide
+
+    # -- lookups -----------------------------------------------------------
+
+    def node_for_path(self, path: LabelPath) -> Optional[DataGuideNode]:
+        """Guide node for a label path, or ``None`` if the path never occurs."""
+        return self._by_path.get(tuple(path))
+
+    def node_for_element(self, element: Element) -> Optional[DataGuideNode]:
+        return self._by_path.get(element.label_path())
+
+    def paths(self) -> list[LabelPath]:
+        """All label paths, sorted (stable for reporting and tests)."""
+        return sorted(self._by_path)
+
+    def node_count(self) -> int:
+        return len(self._by_path)
+
+    def __len__(self) -> int:
+        return len(self._by_path)
+
+    def __contains__(self, path: LabelPath) -> bool:
+        return tuple(path) in self._by_path
+
+    # -- incremental maintenance -------------------------------------------
+
+    def add_document_node(self, element: Element) -> DataGuideNode:
+        """Record one document node (creating its guide path if needed)."""
+        return self._add_path(element.label_path(), element.node_id)
+
+    def _add_path(self, path: LabelPath, target_id: int) -> DataGuideNode:
+        if not path:
+            raise ReproError("empty label path")
+        if self.root is None:
+            self.root = DataGuideNode(path[0])
+            self.root.guide = self
+            self._by_path[(path[0],)] = self.root
+        if self.root.tag != path[0]:
+            raise ReproError(
+                f"document {self.doc_name!r} root mismatch: "
+                f"guide has {self.root.tag!r}, path starts with {path[0]!r}"
+            )
+        node = self.root
+        for depth in range(1, len(path)):
+            tag = path[depth]
+            nxt = node._children.get(tag)
+            if nxt is None:
+                nxt = DataGuideNode(tag, parent=node)
+                nxt.guide = self
+                node._children[tag] = nxt
+                self._by_path[path[: depth + 1]] = nxt
+            node = nxt
+        node.targets.add(target_id)
+        return node
+
+    def remove_document_node(self, element: Element) -> None:
+        """Forget one document node; prunes drained guide branches."""
+        self._remove_path(element.label_path(), element.node_id)
+
+    def _remove_path(self, path: LabelPath, target_id: int) -> None:
+        node = self._by_path.get(tuple(path))
+        if node is None:
+            raise ReproError(f"label path {'/'.join(path)} not in guide")
+        node.targets.discard(target_id)
+        self._prune(node)
+
+    def _prune(self, node: DataGuideNode) -> None:
+        """Remove ``node`` (and drained ancestors) once nothing targets it."""
+        while node is not None and not node.targets and not node._children:
+            parent = node.parent
+            if parent is None:
+                self.root = None
+            else:
+                del parent._children[node.tag]
+            del self._by_path[node.label_path()]
+            node.guide = None
+            if parent is None:
+                break
+            node = parent
+
+    def apply_change(self, change: AppliedChange) -> None:
+        """Sync the guide with one applied (or undone) document mutation.
+
+        For structural changes the applier records the affected subtree's old
+        and new label paths; the guide re-registers target ids accordingly.
+        ``change.node`` and its descendants are *live* for inserts/renames/
+        transposes and *detached* for removes, so the node walk used here
+        relies only on the recorded paths plus the subtree's current ids.
+        """
+        kind = change.kind
+        if kind == "change":
+            return  # text-only: no structural effect
+        subtree = list(change.node.iter_subtree())
+        if kind == "insert":
+            for el in subtree:
+                self.add_document_node(el)
+            return
+        if kind == "remove":
+            if len(change.old_label_paths) != len(subtree):
+                raise ReproError("remove change record is inconsistent")
+            for path, el in zip(change.old_label_paths, subtree):
+                self._remove_path(path, el.node_id)
+            return
+        if kind in ("rename", "transpose"):
+            if len(change.old_label_paths) != len(subtree) or len(
+                change.new_label_paths
+            ) != len(subtree):
+                raise ReproError(f"{kind} change record is inconsistent")
+            for path, el in zip(change.old_label_paths, subtree):
+                self._remove_path(path, el.node_id)
+            for path, el in zip(change.new_label_paths, subtree):
+                self._add_path(path, el.node_id)
+            return
+        raise ReproError(f"unknown change kind {kind!r}")
+
+    def undo_change(self, change: AppliedChange) -> None:
+        """Sync the guide with the rollback of ``change``.
+
+        Contract: call this immediately after the *data* rollback of the same
+        operation, unwinding operations newest-first — the method reads the
+        live subtree under ``change.node``, so guide and document must be
+        unwound in lockstep (this is what ``DTXSite._abort_at_site`` does).
+        """
+        kind = change.kind
+        if kind == "change":
+            return
+        subtree = list(change.node.iter_subtree())
+        if kind == "insert":
+            for path, el in zip(change.new_label_paths, subtree):
+                self._remove_path(path, el.node_id)
+            return
+        if kind == "remove":
+            for el in subtree:
+                self.add_document_node(el)
+            return
+        if kind in ("rename", "transpose"):
+            for path, el in zip(change.new_label_paths, subtree):
+                self._remove_path(path, el.node_id)
+            for path, el in zip(change.old_label_paths, subtree):
+                self._add_path(path, el.node_id)
+            return
+        raise ReproError(f"unknown change kind {kind!r}")
+
+    # -- validation ----------------------------------------------------------
+
+    def validate_against(self, document: Document) -> None:
+        """Assert the strong-DataGuide invariants w.r.t. ``document``.
+
+        1. Every label path in the document has exactly one guide node.
+        2. Every guide node's target set equals the ids of the document nodes
+           with that label path (completeness + minimality: no stale nodes).
+        """
+        expected: dict[LabelPath, set[int]] = {}
+        for el in document.iter():
+            expected.setdefault(el.label_path(), set()).add(el.node_id)
+        actual = {path: set(node.targets) for path, node in self._by_path.items()}
+        if expected != actual:
+            missing = sorted(set(expected) - set(actual))
+            stale = sorted(set(actual) - set(expected))
+            diffs = [
+                path
+                for path in set(expected) & set(actual)
+                if expected[path] != actual[path]
+            ]
+            raise ReproError(
+                f"DataGuide out of sync with {document.name!r}: "
+                f"missing={missing} stale={stale} target-mismatch={sorted(diffs)}"
+            )
+
+    def pretty(self) -> str:
+        """Indented rendering of the guide (for docs, debugging, examples)."""
+        if self.root is None:
+            return "(empty guide)"
+        lines: list[str] = []
+
+        def walk(node: DataGuideNode, depth: int) -> None:
+            lines.append(f"{'  ' * depth}{node.tag} [{len(node.targets)}]")
+            for child in node.children:
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)

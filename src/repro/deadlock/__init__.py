@@ -1,0 +1,5 @@
+"""Deadlock handling: wait-for graphs and the distributed detector."""
+
+from .wfg import WaitForGraph, newest_transaction
+
+__all__ = ["WaitForGraph", "newest_transaction"]

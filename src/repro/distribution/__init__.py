@@ -1,0 +1,24 @@
+"""Data distribution: fragmentation, allocation, placement catalog."""
+
+from .allocation import Allocation, allocate_explicit, allocate_partial, allocate_total
+from .catalog import Catalog
+from .fragmentation import (
+    Fragment,
+    FragmentationPlan,
+    fragment_document,
+    fragment_name,
+    is_fragment_of,
+)
+
+__all__ = [
+    "Allocation",
+    "Catalog",
+    "Fragment",
+    "FragmentationPlan",
+    "allocate_explicit",
+    "allocate_partial",
+    "allocate_total",
+    "fragment_document",
+    "fragment_name",
+    "is_fragment_of",
+]

@@ -1,0 +1,106 @@
+"""Allocation of documents/fragments to sites (paper Fig. 8).
+
+Two replication regimes, matching §3.2:
+
+* **total replication** — every document is copied to every site;
+* **partial replication** — the database is fragmented (one fragment per
+  site by default) and each fragment lives on its primary site, optionally
+  with ``replicas - 1`` extra copies on the following sites (the bold
+  entries in Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from ..errors import DistributionError
+from ..xml.model import Document
+from .catalog import Catalog
+from .fragmentation import FragmentationPlan, fragment_document
+
+
+@dataclass
+class Allocation:
+    """A catalog plus the concrete documents each site must load."""
+
+    catalog: Catalog
+    site_documents: dict[Hashable, list[Document]] = field(default_factory=dict)
+
+    def documents_for(self, site_id: Hashable) -> list[Document]:
+        return self.site_documents.get(site_id, [])
+
+    def total_bytes_per_site(self) -> dict[Hashable, int]:
+        return {
+            site: sum(d.size_bytes() for d in docs)
+            for site, docs in self.site_documents.items()
+        }
+
+
+def allocate_total(documents: Sequence[Document], site_ids: Sequence[Hashable]) -> Allocation:
+    """Every document replicated on every site."""
+    if not site_ids:
+        raise DistributionError("need at least one site")
+    catalog = Catalog()
+    alloc = Allocation(catalog, {s: [] for s in site_ids})
+    for doc in documents:
+        catalog.add(doc.name, site_ids)
+        for site in site_ids:
+            alloc.site_documents[site].append(doc.clone())
+    return alloc
+
+
+def allocate_partial(
+    documents: Sequence[Document],
+    site_ids: Sequence[Hashable],
+    replicas: int = 1,
+    fragments_per_doc: int | None = None,
+) -> tuple[Allocation, list[FragmentationPlan]]:
+    """Fragment each document and spread the fragments round-robin.
+
+    ``fragments_per_doc`` defaults to the number of sites (the paper's
+    setup: similar data volume everywhere). ``replicas`` > 1 places each
+    fragment on that many consecutive sites.
+    """
+    if not site_ids:
+        raise DistributionError("need at least one site")
+    if replicas < 1 or replicas > len(site_ids):
+        raise DistributionError(
+            f"replicas must be in [1, {len(site_ids)}], got {replicas}"
+        )
+    k = fragments_per_doc if fragments_per_doc is not None else len(site_ids)
+    catalog = Catalog()
+    alloc = Allocation(catalog, {s: [] for s in site_ids})
+    plans: list[FragmentationPlan] = []
+    for doc in documents:
+        plan = fragment_document(doc, k)
+        plans.append(plan)
+        for frag in plan.fragments:
+            home = frag.index % len(site_ids)
+            placement = [
+                site_ids[(home + r) % len(site_ids)] for r in range(replicas)
+            ]
+            catalog.add(frag.name, placement)
+            for site in placement:
+                alloc.site_documents[site].append(frag.document.clone())
+    return alloc, plans
+
+
+def allocate_explicit(
+    placements: dict[str, Sequence[Hashable]],
+    documents: dict[str, Document],
+) -> Allocation:
+    """Fully explicit placement (used by the paper's §2.4 scenario: d1 on
+    s1+s2, d2 only on s2)."""
+    catalog = Catalog()
+    sites: set = set()
+    for placement in placements.values():
+        sites.update(placement)
+    alloc = Allocation(catalog, {s: [] for s in sorted(sites)})
+    for name, placement in placements.items():
+        if name not in documents:
+            raise DistributionError(f"no document supplied for placement {name!r}")
+        catalog.add(name, placement)
+        for site in placement:
+            alloc.site_documents[site].append(documents[name].clone())
+    return alloc

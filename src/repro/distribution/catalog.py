@@ -1,0 +1,70 @@
+"""The placement catalog: which sites hold a copy of which document.
+
+DTX routes every operation to *all* sites holding the target document
+(paper Alg. 1: "it will be sent and executed in all the participants that
+contain the data involved in this operation") — replicas are kept
+synchronously identical, which is why total replication pays a
+synchronization cost even for read-only workloads (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from ..errors import DistributionError
+
+
+class Catalog:
+    def __init__(self) -> None:
+        self._placement: dict[str, tuple[Hashable, ...]] = {}
+
+    def add(self, doc_name: str, site_ids: Iterable[Hashable]) -> None:
+        sites = tuple(site_ids)
+        if not sites:
+            raise DistributionError(f"document {doc_name!r} must live somewhere")
+        if len(set(sites)) != len(sites):
+            raise DistributionError(f"duplicate sites in placement of {doc_name!r}")
+        self._placement[doc_name] = sites
+
+    def sites_for(self, doc_name: str) -> tuple[Hashable, ...]:
+        try:
+            return self._placement[doc_name]
+        except KeyError:
+            raise DistributionError(f"document {doc_name!r} not in catalog") from None
+
+    def has_document(self, doc_name: str) -> bool:
+        return doc_name in self._placement
+
+    def documents_at(self, site_id: Hashable) -> list[str]:
+        return sorted(d for d, sites in self._placement.items() if site_id in sites)
+
+    def all_documents(self) -> list[str]:
+        return sorted(self._placement)
+
+    def all_sites(self) -> list:
+        sites: set = set()
+        for placement in self._placement.values():
+            sites.update(placement)
+        return sorted(sites)
+
+    def primary_site(self, doc_name: str) -> Hashable:
+        """First site in the placement (deterministic coordinator choice)."""
+        return self.sites_for(doc_name)[0]
+
+    def replication_degree(self, doc_name: str) -> int:
+        return len(self.sites_for(doc_name))
+
+    def __len__(self) -> int:
+        return len(self._placement)
+
+    def describe(self) -> str:
+        """Fig. 8-style table: one row per site listing its documents."""
+        lines = []
+        for site in self.all_sites():
+            docs = self.documents_at(site)
+            marked = []
+            for d in docs:
+                # Bold-in-the-paper = replicated on other sites too.
+                marked.append(f"*{d}*" if self.replication_degree(d) > 1 else d)
+            lines.append(f"site {site}: {', '.join(marked)}")
+        return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""The paper's evaluation: experiment runner, per-figure sweeps, checks."""
+
+from .figures import (
+    BASE_DB_BYTES,
+    SCALE,
+    Fig8Result,
+    Fig12Result,
+    FigureParams,
+    fig8,
+    fig9,
+    fig10,
+    fig11a,
+    fig11b,
+    fig12,
+)
+from .report import check_fig9, check_fig10, check_fig11a, check_fig11b, check_fig12
+from .runner import ExperimentConfig, build_cluster, run_experiment
+
+__all__ = [
+    "BASE_DB_BYTES",
+    "ExperimentConfig",
+    "Fig12Result",
+    "Fig8Result",
+    "FigureParams",
+    "SCALE",
+    "build_cluster",
+    "check_fig10",
+    "check_fig11a",
+    "check_fig11b",
+    "check_fig12",
+    "check_fig9",
+    "fig10",
+    "fig11a",
+    "fig11b",
+    "fig12",
+    "fig8",
+    "fig9",
+    "run_experiment",
+]

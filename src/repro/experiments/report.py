@@ -1,0 +1,102 @@
+"""Paper-vs-measured assertions and report rendering.
+
+``check_*`` functions encode the qualitative claims of §3 (who wins, in what
+direction curves move); they raise :class:`AssertionError` with a readable
+message when a reproduction run contradicts the paper. The benchmark harness
+runs them so a regression in the engine's behaviour fails loudly rather than
+silently producing wrong tables.
+"""
+
+from __future__ import annotations
+
+from ..workload.metrics import FigureData
+from .figures import Fig12Result
+
+
+def check_fig9(fig: FigureData) -> list[str]:
+    """Paper: XDGL beats tree locks; partial replication beats total."""
+    notes = []
+    for repl in ("partial", "total"):
+        xdgl = fig.series_values(f"xdgl/{repl}")
+        node = fig.series_values(f"node2pl/{repl}")
+        assert all(a < b for a, b in zip(xdgl, node)), (
+            f"fig9 ({repl}): expected XDGL below Node2PL, got {xdgl} vs {node}"
+        )
+        notes.append(
+            f"fig9/{repl}: xdgl wins at every client count "
+            f"(x{node[-1] / xdgl[-1]:.1f} at the largest)"
+        )
+    for proto in ("xdgl", "node2pl"):
+        part = fig.series_values(f"{proto}/partial")
+        tot = fig.series_values(f"{proto}/total")
+        assert all(p < t for p, t in zip(part, tot)), (
+            f"fig9 ({proto}): expected partial below total, got {part} vs {tot}"
+        )
+        notes.append(f"fig9/{proto}: partial replication faster than total")
+    return notes
+
+
+def check_fig10(fig: FigureData) -> list[str]:
+    """Paper: XDGL response stays low as updates grow; XDGL deadlocks higher."""
+    xdgl_rt = fig.series_values("xdgl")
+    node_rt = fig.series_values("node2pl")
+    assert all(a < b for a, b in zip(xdgl_rt, node_rt)), (
+        f"fig10: expected XDGL response below Node2PL, got {xdgl_rt} vs {node_rt}"
+    )
+    xdgl_dl = sum(fig.series_values("xdgl", "deadlocks"))
+    node_dl = sum(fig.series_values("node2pl", "deadlocks"))
+    assert xdgl_dl >= node_dl, (
+        f"fig10: expected XDGL to deadlock at least as much as Node2PL "
+        f"(higher concurrency), got {xdgl_dl} vs {node_dl}"
+    )
+    return [
+        f"fig10: xdgl response {xdgl_rt[0]:.1f}->{xdgl_rt[-1]:.1f} ms vs "
+        f"node2pl {node_rt[0]:.1f}->{node_rt[-1]:.1f} ms",
+        f"fig10: deadlocks xdgl={xdgl_dl} >= node2pl={node_dl}",
+    ]
+
+
+def check_fig11a(fig: FigureData) -> list[str]:
+    """Paper: tree-lock response grows with base size; XDGL stays well below."""
+    xdgl = fig.series_values("xdgl")
+    node = fig.series_values("node2pl")
+    assert all(a < b for a, b in zip(xdgl, node)), (
+        f"fig11a: expected XDGL below Node2PL at every size, got {xdgl} vs {node}"
+    )
+    assert node[-1] > node[0], "fig11a: Node2PL response should grow with base size"
+    xdgl_growth = xdgl[-1] / max(xdgl[0], 1e-9)
+    node_growth = node[-1] / max(node[0], 1e-9)
+    assert node_growth > xdgl_growth * 0.8, (
+        f"fig11a: Node2PL should scale no better than XDGL "
+        f"({node_growth:.2f}x vs {xdgl_growth:.2f}x)"
+    )
+    return [
+        f"fig11a: growth over sweep xdgl x{xdgl_growth:.2f}, node2pl x{node_growth:.2f}"
+    ]
+
+
+def check_fig11b(fig: FigureData) -> list[str]:
+    """Paper: XDGL response improves with more sites and stays below tree locks."""
+    xdgl = fig.series_values("xdgl")
+    node = fig.series_values("node2pl")
+    assert all(a < b for a, b in zip(xdgl, node)), (
+        f"fig11b: expected XDGL below Node2PL at every site count, got {xdgl} vs {node}"
+    )
+    assert xdgl[-1] < xdgl[0], "fig11b: XDGL response should drop as sites grow"
+    return [f"fig11b: xdgl response {xdgl[0]:.1f} -> {xdgl[-1]:.1f} ms over the sweep"]
+
+
+def check_fig12(result: Fig12Result) -> list[str]:
+    """Paper: DTX completes its transactions roughly an order of magnitude
+    faster than tree locks (218 tx / 1553 s vs 230 tx / 16500 s)."""
+    xdgl_t = result.completion_time_ms("xdgl")
+    node_t = result.completion_time_ms("node2pl")
+    assert xdgl_t < node_t, (
+        f"fig12: expected XDGL to finish first ({xdgl_t:.0f} vs {node_t:.0f} ms)"
+    )
+    ratio = node_t / max(xdgl_t, 1e-9)
+    assert ratio > 1.5, f"fig12: expected a clear completion-time gap, got x{ratio:.2f}"
+    return [
+        f"fig12: xdgl {result.completed('xdgl')} tx in {xdgl_t:.0f} ms; "
+        f"node2pl {result.completed('node2pl')} tx in {node_t:.0f} ms (x{ratio:.1f})"
+    ]

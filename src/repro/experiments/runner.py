@@ -1,0 +1,77 @@
+"""Experiment runner: paper §3.1 environment assembly.
+
+"A set of sites S = {S1..SN} is given. Each site possesses a Sedna Native XML
+DBMS containing the XML documents adequate for each experiment, and an
+instance of DTX. A set of clients C = {C1..CM} is considered. To process a
+transaction t, a client connects to DTX and submits t."
+
+One :class:`ExperimentConfig` fully determines a run: protocol, number of
+sites, replication regime, database size, workload spec and system config.
+Runs with equal configs are bit-identical (everything is seeded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import SystemConfig
+from ..core.cluster import DTXCluster
+from ..core.results import RunResult
+from ..errors import ConfigError
+from ..workload.generator import DTXTester, WorkloadSpec
+from ..workload.xmark import generate_xmark, xmark_fragments
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    protocol: str = "xdgl"
+    n_sites: int = 4
+    replication: str = "partial"  # 'partial' | 'total'
+    db_bytes: int = 120_000
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    system: SystemConfig = field(default_factory=SystemConfig)
+    label: str = ""
+
+    def validate(self) -> None:
+        if self.n_sites < 1:
+            raise ConfigError("n_sites must be >= 1")
+        if self.replication not in ("partial", "total"):
+            raise ConfigError(f"unknown replication regime {self.replication!r}")
+        self.workload.validate()
+        self.system.validate()
+
+
+def build_cluster(cfg: ExperimentConfig) -> tuple[DTXCluster, DTXTester]:
+    """Assemble (but do not run) the cluster + workload for ``cfg``."""
+    cfg.validate()
+    base_doc, _ = generate_xmark(cfg.db_bytes, seed=cfg.system.seed)
+    site_ids = [f"s{i + 1}" for i in range(cfg.n_sites)]
+
+    cluster = DTXCluster(protocol=cfg.protocol, config=cfg.system)
+    for sid in site_ids:
+        cluster.add_site(sid)
+
+    if cfg.replication == "total":
+        documents = [base_doc]
+        for sid in site_ids:
+            cluster.host_document(sid, base_doc)
+    else:
+        fragments = xmark_fragments(base_doc, cfg.n_sites)
+        documents = fragments
+        for i, frag in enumerate(fragments):
+            cluster.host_document(site_ids[i], frag)
+
+    tester = DTXTester(cfg.workload, documents)
+    placement = tester.assign_clients_to_sites(site_ids)
+    for client_idx, sid in placement.items():
+        cluster.add_client(
+            f"c{client_idx}", sid, tester.transactions_for_client(client_idx)
+        )
+    return cluster, tester
+
+
+def run_experiment(cfg: ExperimentConfig) -> RunResult:
+    cluster, _ = build_cluster(cfg)
+    label = cfg.label or f"{cfg.protocol}/{cfg.replication}/{cfg.n_sites}sites"
+    return cluster.run(label=label)

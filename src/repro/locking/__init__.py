@@ -1,0 +1,34 @@
+"""Locking subsystem: modes, compatibility, lock table, lock manager."""
+
+from .manager import AcquireOutcome, LockManager
+from .modes import (
+    DOC_MATRIX,
+    TREE_MATRIX,
+    XDGL_MATRIX,
+    XDGL_EXCLUSIVE_MODES,
+    XDGL_SHARED_MODES,
+    CompatibilityMatrix,
+    DocLockMode,
+    LockMode,
+    TreeLockMode,
+)
+from .requests import LockKey, LockRequest, LockSpec
+from .table import LockTable
+
+__all__ = [
+    "AcquireOutcome",
+    "CompatibilityMatrix",
+    "DOC_MATRIX",
+    "DocLockMode",
+    "LockKey",
+    "LockManager",
+    "LockMode",
+    "LockRequest",
+    "LockSpec",
+    "LockTable",
+    "TREE_MATRIX",
+    "TreeLockMode",
+    "XDGL_EXCLUSIVE_MODES",
+    "XDGL_MATRIX",
+    "XDGL_SHARED_MODES",
+]

@@ -1,0 +1,140 @@
+"""Lock modes and compatibility matrices.
+
+Three protocols, three mode vocabularies:
+
+* **XDGL** (paper §2): eight modes over DataGuide nodes — IS, IX (intention
+  shared/exclusive, taken on ancestors), SI/SA/SB (shared insertion locks:
+  *into*, *after*, *before*), ST (shared tree), X (exclusive node) and XT
+  (exclusive tree).
+* **Node2PL** tree locking over document nodes: classic hierarchical
+  IS/IX/S/X.
+* **DocLock2PL**: whole-document S/X.
+
+The XDGL matrix is reconstructed from the constraints stated in the paper
+(see DESIGN.md): ST protects a subtree from updates, so it conflicts with
+IX/X/XT (the §2.4 deadlock is IX-requested-under-ST, twice, crosswise); XT
+blocks readers and writers alike; SI/SA/SB are shared and conflict only with
+X/XT and with a same-positioned insertion (SA–SA, SB–SB).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from itertools import combinations_with_replacement
+from typing import Iterable
+
+from ..errors import LockError
+
+
+class LockMode(str, Enum):
+    """XDGL lock modes (DataGuide granularity)."""
+
+    IS = "IS"  # intention shared: on ancestors of share-locked nodes
+    IX = "IX"  # intention exclusive: on ancestors of exclusive-locked nodes
+    SI = "SI"  # shared-into: on the node an insertion connects to
+    SA = "SA"  # shared-after: on the reference sibling of an AFTER insert
+    SB = "SB"  # shared-before: on the reference sibling of a BEFORE insert
+    ST = "ST"  # shared tree: protects a DataGuide subtree from updates
+    X = "X"  # exclusive: the single node being modified
+    XT = "XT"  # exclusive tree: blocks reads and updates of a subtree
+
+
+class TreeLockMode(str, Enum):
+    """Node2PL lock modes (document-node granularity)."""
+
+    IS = "IS"
+    IX = "IX"
+    S = "S"
+    X = "X"
+
+
+class DocLockMode(str, Enum):
+    """Whole-document lock modes (the traditional baseline)."""
+
+    S = "S"
+    X = "X"
+
+
+class CompatibilityMatrix:
+    """Symmetric lock-compatibility relation over one mode vocabulary."""
+
+    def __init__(self, name: str, modes: type[Enum], incompatible: Iterable[tuple]):
+        self.name = name
+        self.modes = modes
+        self._incompatible: frozenset[frozenset] = frozenset(
+            frozenset((a, b)) for a, b in incompatible
+        )
+        valid = set(modes)
+        for pair in self._incompatible:
+            for m in pair:
+                if m not in valid:
+                    raise LockError(f"{name}: unknown mode {m!r} in matrix")
+
+    def compatible(self, held, requested) -> bool:
+        """True when ``requested`` can be granted alongside ``held``."""
+        return frozenset((held, requested)) not in self._incompatible
+
+    def compatible_with_all(self, held_modes: Iterable, requested) -> bool:
+        return all(self.compatible(h, requested) for h in held_modes)
+
+    def pairs(self) -> list[tuple]:
+        """Every unordered mode pair with its compatibility (for reporting)."""
+        out = []
+        for a, b in combinations_with_replacement(list(self.modes), 2):
+            out.append((a, b, self.compatible(a, b)))
+        return out
+
+    def render(self) -> str:
+        """ASCII rendering of the matrix (documentation/examples)."""
+        modes = list(self.modes)
+        width = max(len(m.value) for m in modes) + 1
+        header = " " * width + "".join(m.value.ljust(width) for m in modes)
+        rows = [header]
+        for held in modes:
+            cells = "".join(
+                ("+" if self.compatible(held, req) else "-").ljust(width) for req in modes
+            )
+            rows.append(held.value.ljust(width) + cells)
+        return "\n".join(rows)
+
+
+def _xdgl_incompatible() -> list[tuple[LockMode, LockMode]]:
+    pairs: list[tuple[LockMode, LockMode]] = []
+    for m in LockMode:
+        pairs.append((LockMode.X, m))  # X conflicts with everything
+        pairs.append((LockMode.XT, m))  # XT conflicts with everything
+    pairs.append((LockMode.IX, LockMode.ST))  # updates under a read-protected tree
+    pairs.append((LockMode.SA, LockMode.SA))  # two inserts after the same node
+    pairs.append((LockMode.SB, LockMode.SB))  # two inserts before the same node
+    return pairs
+
+
+XDGL_MATRIX = CompatibilityMatrix("XDGL", LockMode, _xdgl_incompatible())
+
+TREE_MATRIX = CompatibilityMatrix(
+    "Node2PL",
+    TreeLockMode,
+    [
+        (TreeLockMode.X, TreeLockMode.X),
+        (TreeLockMode.X, TreeLockMode.S),
+        (TreeLockMode.X, TreeLockMode.IS),
+        (TreeLockMode.X, TreeLockMode.IX),
+        (TreeLockMode.S, TreeLockMode.IX),
+    ],
+)
+
+DOC_MATRIX = CompatibilityMatrix(
+    "DocLock2PL",
+    DocLockMode,
+    [
+        (DocLockMode.X, DocLockMode.X),
+        (DocLockMode.X, DocLockMode.S),
+    ],
+)
+
+#: Shared (read-side) XDGL modes — used in tests and sanity checks.
+XDGL_SHARED_MODES = frozenset(
+    {LockMode.IS, LockMode.SI, LockMode.SA, LockMode.SB, LockMode.ST}
+)
+#: Exclusive (write-side) XDGL modes.
+XDGL_EXCLUSIVE_MODES = frozenset({LockMode.X, LockMode.XT})

@@ -1,0 +1,51 @@
+"""Concurrency-control protocols pluggable into DTX.
+
+``make_protocol`` is the registry used by experiment configurations;
+downstream users can subclass :class:`ConcurrencyProtocol` and register their
+own (see ``examples/custom_protocol.py``).
+"""
+
+from typing import Callable
+
+from ..errors import ConfigError
+from .base import ConcurrencyProtocol
+from .doclock import DocLock2PLProtocol
+from .node2pl import Node2PLProtocol
+from .xdgl import XDGLProtocol
+
+_REGISTRY: dict[str, Callable[[], ConcurrencyProtocol]] = {
+    "xdgl": XDGLProtocol,
+    "node2pl": Node2PLProtocol,
+    "doclock2pl": DocLock2PLProtocol,
+}
+
+
+def register_protocol(name: str, factory: Callable[[], ConcurrencyProtocol]) -> None:
+    """Register a custom protocol factory under ``name``."""
+    _REGISTRY[name] = factory
+
+
+def make_protocol(name: str) -> ConcurrencyProtocol:
+    """Instantiate a registered protocol by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown protocol {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available_protocols() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+__all__ = [
+    "ConcurrencyProtocol",
+    "DocLock2PLProtocol",
+    "Node2PLProtocol",
+    "XDGLProtocol",
+    "available_protocols",
+    "make_protocol",
+    "register_protocol",
+]

@@ -1,0 +1,50 @@
+"""DocLock2PL: the "traditional technique" baseline.
+
+One S/X lock per document (paper §3.2: "a traditional technique which makes
+use a complete lock on the document and uses the 2PC protocol"). Trivially
+cheap to manage but serializes all writers — and any writer against all
+readers — of a document.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..locking.modes import DOC_MATRIX, CompatibilityMatrix, DocLockMode
+from ..locking.requests import LockSpec
+from ..update.operations import UpdateOperation
+from ..xml.model import Document
+from ..xpath.ast import LocationPath
+from .base import ConcurrencyProtocol
+
+
+class DocLock2PLProtocol(ConcurrencyProtocol):
+    name = "doclock2pl"
+
+    def __init__(self) -> None:
+        self._known: set[str] = set()
+
+    @property
+    def matrix(self) -> CompatibilityMatrix:
+        return DOC_MATRIX
+
+    def register_document(self, doc: Document) -> None:
+        self._known.add(doc.name)
+
+    def drop_document(self, doc_name: str) -> None:
+        self._known.discard(doc_name)
+
+    def lock_spec_for_query(
+        self, doc_name: str, path: Union[str, LocationPath]
+    ) -> LockSpec:
+        spec = LockSpec(nodes_visited=1)
+        spec.add((doc_name,), DocLockMode.S)
+        return spec
+
+    def lock_spec_for_update(self, doc_name: str, op: UpdateOperation) -> LockSpec:
+        spec = LockSpec(nodes_visited=1)
+        spec.add((doc_name,), DocLockMode.X)
+        return spec
+
+    def structure_node_count(self, doc_name: str) -> int:
+        return 1

@@ -1,0 +1,189 @@
+"""XDGL: multi-granularity locking over DataGuides (the DTX protocol).
+
+Lock rules (paper §2, reconstructed details in DESIGN.md):
+
+* **query p** — ST on each target guide node, IS on its ancestors; predicate
+  nodes get ST + IS-ancestors.
+* **insert f INTO p** — SI on the connecting node + IS ancestors; X on the
+  inserted node's (possibly brand-new) guide path + IX ancestors; predicate
+  nodes ST + IS. ``BEFORE``/``AFTER`` variants add SB/SA on the reference
+  sibling's guide node (the parent is then the connecting node).
+* **remove p** — XT on each target (the whole subtree is protected) + IX
+  ancestors; predicate nodes ST + IS.
+* **rename p TO n** — XT on the target (all subtree label paths change) + IX
+  ancestors, plus X + IX-ancestors on the new label path.
+* **change p** — X on the target + IX ancestors.
+* **transpose p INTO q** — XT on the source + IX ancestors; SI on the
+  destination + IS ancestors; X + IX-ancestors on the relocated path.
+
+Lock keys are ``(doc_name, label_path)`` — stable across guide-node pruning
+and re-creation, so a lock can name a path that does not exist yet (inserts).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..dataguide.guide import DataGuide, DataGuideNode
+from ..errors import StorageError
+from ..locking.modes import XDGL_MATRIX, CompatibilityMatrix, LockMode
+from ..locking.requests import LockSpec
+from ..update.operations import (
+    AppliedChange,
+    ChangeOp,
+    InsertOp,
+    InsertPosition,
+    RemoveOp,
+    RenameOp,
+    TransposeOp,
+    UpdateOperation,
+)
+from ..xml.model import Document
+from ..xpath.ast import LocationPath
+from ..xpath.evaluator import EvalStats
+from ..xpath.guide import GuideMatch, match_structure
+from .base import ConcurrencyProtocol
+
+
+class XDGLProtocol(ConcurrencyProtocol):
+    name = "xdgl"
+
+    def __init__(self) -> None:
+        self._guides: dict[str, DataGuide] = {}
+
+    @property
+    def matrix(self) -> CompatibilityMatrix:
+        return XDGL_MATRIX
+
+    # -- structure management ------------------------------------------------
+
+    def register_document(self, doc: Document) -> None:
+        self._guides[doc.name] = DataGuide.build(doc)
+
+    def drop_document(self, doc_name: str) -> None:
+        self._guides.pop(doc_name, None)
+
+    def guide(self, doc_name: str) -> DataGuide:
+        try:
+            return self._guides[doc_name]
+        except KeyError:
+            raise StorageError(f"no DataGuide registered for document {doc_name!r}") from None
+
+    def after_apply(self, doc_name: str, changes: list[AppliedChange]) -> None:
+        guide = self.guide(doc_name)
+        for change in changes:
+            guide.apply_change(change)
+
+    def after_undo(self, doc_name: str, changes: list[AppliedChange]) -> None:
+        guide = self.guide(doc_name)
+        for change in reversed(changes):
+            guide.undo_change(change)
+
+    def structure_node_count(self, doc_name: str) -> int:
+        return self.guide(doc_name).node_count()
+
+    # -- lock rules -------------------------------------------------------------
+
+    def lock_spec_for_query(
+        self, doc_name: str, path: Union[str, LocationPath]
+    ) -> LockSpec:
+        guide = self.guide(doc_name)
+        stats = EvalStats()
+        match = match_structure(path, guide.root, stats)
+        spec = LockSpec(nodes_visited=stats.nodes_visited)
+        self._shared_tree_locks(spec, doc_name, match.targets)
+        self._shared_tree_locks(spec, doc_name, match.predicate_targets)
+        return spec.deduplicated()
+
+    def lock_spec_for_update(self, doc_name: str, op: UpdateOperation) -> LockSpec:
+        guide = self.guide(doc_name)
+        stats = EvalStats()
+        spec = LockSpec()
+        if isinstance(op, InsertOp):
+            self._insert_locks(spec, doc_name, guide, op, stats)
+        elif isinstance(op, RemoveOp):
+            match = match_structure(op.target, guide.root, stats)
+            self._exclusive_tree_locks(spec, doc_name, match.targets)
+            self._shared_tree_locks(spec, doc_name, match.predicate_targets)
+        elif isinstance(op, RenameOp):
+            match = match_structure(op.target, guide.root, stats)
+            self._exclusive_tree_locks(spec, doc_name, match.targets)
+            for t in match.targets:
+                parent_path = t.label_path()[:-1]
+                new_path = parent_path + (op.new_name,)
+                self._exclusive_node_lock(spec, doc_name, new_path)
+            self._shared_tree_locks(spec, doc_name, match.predicate_targets)
+        elif isinstance(op, ChangeOp):
+            match = match_structure(op.target, guide.root, stats)
+            for t in match.targets:
+                self._exclusive_node_lock(spec, doc_name, t.label_path())
+            self._shared_tree_locks(spec, doc_name, match.predicate_targets)
+        elif isinstance(op, TransposeOp):
+            src = match_structure(op.source, guide.root, stats)
+            dst = match_structure(op.destination, guide.root, stats)
+            self._exclusive_tree_locks(spec, doc_name, src.targets)
+            for d in dst.targets:
+                spec.add((doc_name, d.label_path()), LockMode.SI)
+                self._intention_locks(spec, doc_name, d, LockMode.IS)
+                for s in src.targets:
+                    new_path = d.label_path() + (s.tag,)
+                    self._exclusive_node_lock(spec, doc_name, new_path)
+            self._shared_tree_locks(spec, doc_name, src.predicate_targets)
+            self._shared_tree_locks(spec, doc_name, dst.predicate_targets)
+        else:
+            raise TypeError(f"unknown update operation {op!r}")
+        spec.nodes_visited = stats.nodes_visited
+        return spec.deduplicated()
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _shared_tree_locks(self, spec: LockSpec, doc: str, nodes: list[DataGuideNode]) -> None:
+        """ST on each node, IS on each ancestor (query-side rule)."""
+        for node in nodes:
+            spec.add((doc, node.label_path()), LockMode.ST)
+            self._intention_locks(spec, doc, node, LockMode.IS)
+
+    def _exclusive_tree_locks(self, spec: LockSpec, doc: str, nodes: list[DataGuideNode]) -> None:
+        """XT on each node, IX on each ancestor (remove/rename/transpose)."""
+        for node in nodes:
+            spec.add((doc, node.label_path()), LockMode.XT)
+            self._intention_locks(spec, doc, node, LockMode.IX)
+
+    def _exclusive_node_lock(self, spec: LockSpec, doc: str, path: tuple[str, ...]) -> None:
+        """X on a label path (which may not exist yet) + IX on its prefixes."""
+        spec.add((doc, path), LockMode.X)
+        for depth in range(len(path) - 1, 0, -1):
+            spec.add((doc, path[:depth]), LockMode.IX)
+
+    def _intention_locks(
+        self, spec: LockSpec, doc: str, node: DataGuideNode, mode: LockMode
+    ) -> None:
+        for anc in node.ancestors():
+            spec.add((doc, anc.label_path()), mode)
+
+    def _insert_locks(
+        self,
+        spec: LockSpec,
+        doc_name: str,
+        guide: DataGuide,
+        op: InsertOp,
+        stats: EvalStats,
+    ) -> None:
+        match = match_structure(op.target, guide.root, stats)
+        for ref in match.targets:
+            if op.position is InsertPosition.INTO:
+                connecting = ref
+            else:
+                connecting = ref.parent
+                # SB/SA protect the insertion position relative to the
+                # reference sibling.
+                side = LockMode.SB if op.position is InsertPosition.BEFORE else LockMode.SA
+                spec.add((doc_name, ref.label_path()), side)
+                self._intention_locks(spec, doc_name, ref, LockMode.IS)
+            if connecting is None:
+                continue  # inserting beside the root: rejected at apply time
+            spec.add((doc_name, connecting.label_path()), LockMode.SI)
+            self._intention_locks(spec, doc_name, connecting, LockMode.IS)
+            new_path = connecting.label_path() + (op.fragment.tag,)
+            self._exclusive_node_lock(spec, doc_name, new_path)
+        self._shared_tree_locks(spec, doc_name, match.predicate_targets)

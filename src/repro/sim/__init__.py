@@ -1,0 +1,21 @@
+"""Discrete-event simulation substrate (the paper's cluster, in software)."""
+
+from .environment import Environment, RealtimeEnvironment
+from .events import AllOf, AnyOf, Event, Process, Timeout
+from .network import Network, NetworkStats
+from .queues import Store
+from .rng import substream
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Network",
+    "NetworkStats",
+    "Process",
+    "RealtimeEnvironment",
+    "Store",
+    "Timeout",
+    "substream",
+]

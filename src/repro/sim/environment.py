@@ -1,0 +1,138 @@
+"""The discrete-event simulation kernel.
+
+A minimal, deterministic SimPy-style environment: a time-ordered event queue,
+generator-based processes, timeouts and composite conditions. Determinism
+matters more here than raw speed — two runs with the same configuration and
+seed produce identical schedules, which the reproduction's tests assert on.
+
+A :class:`RealtimeEnvironment` subclass runs the same programs against the
+wall clock (scaled), so demos can watch a DTX cluster "live" while every test
+and benchmark uses pure virtual time.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from heapq import heappop, heappush
+from typing import Any, Iterable, Optional
+
+from ..errors import SimulationError
+from .events import AllOf, AnyOf, Event, Process, Timeout
+
+
+class Environment:
+    """Execution environment: virtual clock plus the pending-event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._eid = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (milliseconds, by this project's convention)."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        heappush(self._queue, (self._now + delay, self._eid, event))
+        self._eid += 1
+
+    # -- factories ----------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution --------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step on an empty event queue")
+        when, _, event = heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` when the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to queue exhaustion), a number (run up
+        to that time) or an :class:`Event` (run until it fires; its value is
+        returned, or its exception raised).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            while not until.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited event fired"
+                    )
+                self.step()
+            if until._ok:
+                return until._value
+            until.defuse()
+            raise until._value
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(f"cannot run until {horizon} < now {self._now}")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+
+class RealtimeEnvironment(Environment):
+    """Run the same event programs against the wall clock.
+
+    ``factor`` maps simulated units to wall seconds (``factor=0.001`` runs
+    one simulated millisecond per real millisecond). ``strict=False`` lets
+    slow callbacks overrun without raising.
+    """
+
+    def __init__(self, initial_time: float = 0.0, factor: float = 0.001, strict: bool = False):
+        super().__init__(initial_time)
+        if factor <= 0:
+            raise SimulationError("factor must be > 0")
+        self.factor = factor
+        self.strict = strict
+        self._real_start = _time.monotonic()
+        self._sim_start = initial_time
+
+    def step(self) -> None:
+        if not self._queue:
+            raise SimulationError("step on an empty event queue")
+        sim_due = self._queue[0][0]
+        real_due = self._real_start + (sim_due - self._sim_start) * self.factor
+        delay = real_due - _time.monotonic()
+        if delay > 0:
+            _time.sleep(delay)
+        elif self.strict and delay < -self.factor:
+            raise SimulationError(
+                f"real-time simulation fell behind by {-delay:.3f}s"
+            )
+        super().step()

@@ -1,0 +1,107 @@
+"""Simulated LAN connecting DTX sites.
+
+Models the paper's evaluation network (eight PCs on a 100 Mbit/s full-duplex
+Ethernet hub): per-message cost = base latency + size/bandwidth + jitter.
+Same-site delivery (coordinator sending to itself as a participant) costs a
+small constant.
+
+The network owns one inbox :class:`~repro.sim.queues.Store` per registered
+site and keeps delivery statistics that the experiment reports surface
+(message counts and bytes are how "synchronization overhead in all the
+sites" shows up in the numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional
+
+from ..config import NetworkConfig
+from ..errors import SimulationError
+from .environment import Environment
+from .queues import Store
+from .rng import substream
+
+
+@dataclass
+class NetworkStats:
+    messages: int = 0
+    bytes: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+    local_messages: int = 0
+
+    def record(self, kind: str, size: int, local: bool) -> None:
+        self.messages += 1
+        self.bytes += size
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        if local:
+            self.local_messages += 1
+
+
+class Network:
+    def __init__(self, env: Environment, config: NetworkConfig, seed: int = 0):
+        self.env = env
+        self.config = config
+        self._inboxes: dict[Hashable, Store] = {}
+        self._rng = substream(seed, "network")
+        self.stats = NetworkStats()
+
+    # -- topology -----------------------------------------------------------
+
+    def register(self, site_id: Hashable) -> Store:
+        if site_id in self._inboxes:
+            raise SimulationError(f"site {site_id!r} already registered")
+        inbox = Store(self.env)
+        self._inboxes[site_id] = inbox
+        return inbox
+
+    def inbox(self, site_id: Hashable) -> Store:
+        try:
+            return self._inboxes[site_id]
+        except KeyError:
+            raise SimulationError(f"unknown site {site_id!r}") from None
+
+    @property
+    def site_ids(self) -> list:
+        return list(self._inboxes)
+
+    # -- transmission ----------------------------------------------------------
+
+    def delay_for(self, src: Hashable, dst: Hashable, size_bytes: int) -> float:
+        if src == dst:
+            return self.config.local_ms
+        jitter = self._rng.uniform(0.0, self.config.jitter_ms)
+        return (
+            self.config.latency_ms
+            + (size_bytes / 1024.0) * self.config.per_kb_ms
+            + jitter
+        )
+
+    def send(
+        self,
+        src: Hashable,
+        dst: Hashable,
+        payload: Any,
+        size_bytes: Optional[int] = None,
+    ) -> float:
+        """Deliver ``payload`` to ``dst``'s inbox after the modelled delay.
+
+        Returns the delay used (tests assert on it). ``size_bytes`` defaults
+        to ``payload.size_bytes()`` when the payload provides it.
+        """
+        inbox = self.inbox(dst)
+        if size_bytes is None:
+            size_bytes = getattr(payload, "size_bytes", lambda: 64)()
+        delay = self.delay_for(src, dst, size_bytes)
+        kind = type(payload).__name__
+        self.stats.record(kind, size_bytes, local=(src == dst))
+
+        def deliver(_ev) -> None:
+            inbox.put(payload)
+
+        ev = self.env.event()
+        ev.callbacks.append(deliver)
+        ev._ok = True
+        ev._value = None
+        self.env._schedule(ev, delay)
+        return delay

@@ -1,0 +1,24 @@
+"""Deterministic random-stream derivation.
+
+Every stochastic component of a simulation (network jitter, client think
+times, workload generation per client, ...) draws from its own named
+substream derived from the master seed, so adding a component or reordering
+draws in one component never perturbs another — runs stay exactly
+reproducible and comparable across configurations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def substream(seed: int, *names: object) -> random.Random:
+    """A :class:`random.Random` derived from ``seed`` and a name path.
+
+    ``substream(7, "client", 3)`` is stable across processes and Python
+    versions (blake2b, not ``hash()``).
+    """
+    material = repr((int(seed),) + tuple(str(n) for n in names)).encode()
+    digest = hashlib.blake2b(material, digest_size=8).digest()
+    return random.Random(int.from_bytes(digest, "big"))

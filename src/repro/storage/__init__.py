@@ -1,0 +1,8 @@
+"""Storage backends and the per-site DataManager."""
+
+from .base import StorageBackend
+from .datamanager import DataManager
+from .filestore import FileStore
+from .memory import InMemoryStore
+
+__all__ = ["DataManager", "FileStore", "InMemoryStore", "StorageBackend"]

@@ -1,0 +1,39 @@
+"""Storage backend interface.
+
+DTX "recovers the XML documents from a storage structure, carries out the
+necessary processing, and then updates the modifications in the storage
+structure. The storage structures of these documents are independent" (paper
+§2). A backend stores *serialized* documents — parsing/serialization costs on
+load/persist are part of the simulation's cost model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..xml.model import Document
+
+
+class StorageBackend(ABC):
+    """Named, serialized XML document store (the Sedna role)."""
+
+    @abstractmethod
+    def store(self, doc: Document) -> int:
+        """Persist ``doc`` under its name; returns the serialized size in bytes."""
+
+    @abstractmethod
+    def load(self, name: str) -> Document:
+        """Load and parse the document called ``name``."""
+
+    @abstractmethod
+    def exists(self, name: str) -> bool: ...
+
+    @abstractmethod
+    def delete(self, name: str) -> None: ...
+
+    @abstractmethod
+    def list_documents(self) -> list[str]: ...
+
+    @abstractmethod
+    def size_bytes(self, name: str) -> int:
+        """Serialized size of a stored document."""

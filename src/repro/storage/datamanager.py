@@ -1,0 +1,74 @@
+"""The DataManager component (paper §2.1).
+
+"The DataManager is the component used by DTX to interact with the XML data
+storage structure. It is responsible for recovering XML data from the storage
+structure, converting it into a proper representation structure, and
+providing means for updating the data in the storage structure."
+
+Each site has one DataManager holding the *live* in-memory documents the
+TransactionManager works on. ``load``/``persist`` return byte counts so the
+site can charge parse/persist time in the cost model.
+"""
+
+from __future__ import annotations
+
+from ..errors import StorageError
+from ..xml.model import Document
+from .base import StorageBackend
+
+
+class DataManager:
+    def __init__(self, backend: StorageBackend):
+        self.backend = backend
+        self._live: dict[str, Document] = {}
+
+    # -- loading -----------------------------------------------------------
+
+    def load(self, name: str) -> tuple[Document, int]:
+        """Materialize ``name`` from storage (or return the live instance).
+
+        Returns ``(document, bytes_parsed)``; the byte count is zero when the
+        document was already live (no parse happened).
+        """
+        if name in self._live:
+            return self._live[name], 0
+        size = self.backend.size_bytes(name)
+        doc = self.backend.load(name)
+        self._live[name] = doc
+        return doc, size
+
+    def document(self, name: str) -> Document:
+        """The live document (must have been loaded)."""
+        try:
+            return self._live[name]
+        except KeyError:
+            raise StorageError(f"document {name!r} is not loaded") from None
+
+    def is_loaded(self, name: str) -> bool:
+        return name in self._live
+
+    def live_documents(self) -> list[str]:
+        return sorted(self._live)
+
+    # -- persistence ----------------------------------------------------------
+
+    def persist(self, name: str) -> int:
+        """Write the live document back to storage; returns bytes written."""
+        doc = self.document(name)
+        return self.backend.store(doc)
+
+    def persist_many(self, names: list[str]) -> int:
+        return sum(self.persist(n) for n in names)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def install(self, doc: Document) -> int:
+        """Adopt a new document: register live and persist it."""
+        if doc.name in self._live:
+            raise StorageError(f"document {doc.name!r} already loaded")
+        self._live[doc.name] = doc
+        return self.backend.store(doc)
+
+    def evict(self, name: str) -> None:
+        """Drop the live copy (storage keeps the last persisted state)."""
+        self._live.pop(name, None)

@@ -1,0 +1,31 @@
+"""The XDGL update language: operations, applier, undo log, textual parser."""
+
+from .applier import apply_update
+from .language import parse_update
+from .operations import (
+    UPDATE_OP_TYPES,
+    AppliedChange,
+    ChangeOp,
+    InsertOp,
+    InsertPosition,
+    RemoveOp,
+    RenameOp,
+    TransposeOp,
+    UpdateOperation,
+)
+from .undo import UndoLog
+
+__all__ = [
+    "UPDATE_OP_TYPES",
+    "AppliedChange",
+    "ChangeOp",
+    "InsertOp",
+    "InsertPosition",
+    "RemoveOp",
+    "RenameOp",
+    "TransposeOp",
+    "UndoLog",
+    "UpdateOperation",
+    "apply_update",
+    "parse_update",
+]

@@ -1,0 +1,110 @@
+"""Textual form of the XDGL update language.
+
+Statements::
+
+    INSERT <product><id>13</id></product> INTO /products
+    INSERT <entry/> BEFORE /list/entry[1]
+    INSERT <entry/> AFTER /list/entry[2]
+    REMOVE /products/product[id=14]
+    RENAME /people/person[id=4]/name TO fullname
+    CHANGE /products/product[id=13]/price TO "10.30"
+    TRANSPOSE /archive/item[1] INTO /active
+
+Keywords are case-insensitive; paths use the library's XPath subset. The
+parser exists so workload files, examples and tests can express transactions
+as plain text, the way the paper's Fig. 3 describes them.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import UpdateSyntaxError
+from ..xml.parser import parse_fragment_prefix
+from .operations import (
+    ChangeOp,
+    InsertOp,
+    InsertPosition,
+    RemoveOp,
+    RenameOp,
+    TransposeOp,
+    UpdateOperation,
+)
+
+_POSITIONS = {
+    "INTO": InsertPosition.INTO,
+    "BEFORE": InsertPosition.BEFORE,
+    "AFTER": InsertPosition.AFTER,
+}
+
+_TO_SPLIT = re.compile(r"\s+TO\s+", re.IGNORECASE)
+_INTO_SPLIT = re.compile(r"\s+INTO\s+", re.IGNORECASE)
+
+
+def parse_update(statement: str) -> UpdateOperation:
+    """Parse one update statement into an operation object."""
+    text = statement.strip()
+    if not text:
+        raise UpdateSyntaxError("empty update statement")
+    keyword = text.split(None, 1)[0].upper()
+    rest = text[len(keyword):].strip()
+    if keyword == "INSERT":
+        return _parse_insert(rest)
+    if keyword == "REMOVE":
+        if not rest:
+            raise UpdateSyntaxError("REMOVE requires a target path")
+        return RemoveOp(rest)
+    if keyword == "RENAME":
+        return _parse_rename(rest)
+    if keyword == "CHANGE":
+        return _parse_change(rest)
+    if keyword == "TRANSPOSE":
+        return _parse_transpose(rest)
+    raise UpdateSyntaxError(f"unknown update keyword {keyword!r}")
+
+
+def _parse_insert(rest: str) -> InsertOp:
+    try:
+        fragment, end = parse_fragment_prefix(rest)
+    except Exception as exc:
+        raise UpdateSyntaxError(f"INSERT: bad XML fragment: {exc}") from exc
+    tail = rest[end:].strip()
+    parts = tail.split(None, 1)
+    if len(parts) != 2:
+        raise UpdateSyntaxError("INSERT requires 'INTO|BEFORE|AFTER <path>' after the fragment")
+    pos_kw, path = parts[0].upper(), parts[1].strip()
+    if pos_kw not in _POSITIONS:
+        raise UpdateSyntaxError(f"INSERT: expected INTO/BEFORE/AFTER, got {parts[0]!r}")
+    return InsertOp(fragment, path, _POSITIONS[pos_kw])
+
+
+def _parse_rename(rest: str) -> RenameOp:
+    pieces = _TO_SPLIT.split(rest)
+    if len(pieces) != 2:
+        raise UpdateSyntaxError("RENAME requires '<path> TO <name>'")
+    path, name = pieces[0].strip(), pieces[1].strip()
+    if not path or not name:
+        raise UpdateSyntaxError("RENAME requires '<path> TO <name>'")
+    return RenameOp(path, name)
+
+
+def _parse_change(rest: str) -> ChangeOp:
+    pieces = _TO_SPLIT.split(rest, maxsplit=1)
+    if len(pieces) != 2:
+        raise UpdateSyntaxError("CHANGE requires '<path> TO <value>'")
+    path, value = pieces[0].strip(), pieces[1].strip()
+    if not path or not value:
+        raise UpdateSyntaxError("CHANGE requires '<path> TO <value>'")
+    if value[0] in "\"'" and len(value) >= 2 and value[-1] == value[0]:
+        value = value[1:-1]
+    return ChangeOp(path, value)
+
+
+def _parse_transpose(rest: str) -> TransposeOp:
+    pieces = _INTO_SPLIT.split(rest)
+    if len(pieces) != 2:
+        raise UpdateSyntaxError("TRANSPOSE requires '<source-path> INTO <dest-path>'")
+    src, dst = pieces[0].strip(), pieces[1].strip()
+    if not src or not dst:
+        raise UpdateSyntaxError("TRANSPOSE requires '<source-path> INTO <dest-path>'")
+    return TransposeOp(src, dst)

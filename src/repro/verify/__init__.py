@@ -1,0 +1,9 @@
+"""Correctness verifiers usable by tests and downstream users."""
+
+from .serial import final_state_serializable, find_equivalent_serial_order, replay_serial
+
+__all__ = [
+    "final_state_serializable",
+    "find_equivalent_serial_order",
+    "replay_serial",
+]

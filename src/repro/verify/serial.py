@@ -1,0 +1,76 @@
+"""Final-state serializability checking.
+
+DTX claims global serializability (paper §2.2). For committed transactions,
+a necessary condition is that the observed final database state equals the
+state produced by *some* serial execution of those transactions. These
+helpers replay committed transactions serially in every candidate order and
+compare serialized document states — exhaustive and exact for the small
+transaction sets used in property tests.
+
+This is *final-state* serializability over writes: read results are not
+checked (queries don't alter state), so it is a necessary, not sufficient,
+condition — still strong enough to catch lost updates, dirty writes, broken
+undo and replica divergence.
+"""
+
+from __future__ import annotations
+
+from itertools import islice, permutations
+from typing import Iterable, Optional, Sequence
+
+from ..core.transaction import Transaction
+from ..update.applier import apply_update
+from ..xml.model import Document
+from ..xml.serializer import serialize_document
+
+State = dict[str, str]  # doc name -> serialized content
+
+
+def snapshot(documents: Iterable[Document]) -> State:
+    """Serialize a set of documents into a comparable state."""
+    return {d.name: serialize_document(d) for d in documents}
+
+
+def replay_serial(initial: dict[str, Document], txs: Sequence[Transaction]) -> State:
+    """Apply the update operations of ``txs``, in order, to clones of
+    ``initial``; return the resulting state."""
+    clones = {name: doc.clone() for name, doc in initial.items()}
+    for tx in txs:
+        for op in tx.operations:
+            if op.is_update and op.doc_name in clones:
+                apply_update(op.payload, clones[op.doc_name])
+    return {name: serialize_document(doc) for name, doc in clones.items()}
+
+
+def find_equivalent_serial_order(
+    initial: dict[str, Document],
+    committed: Sequence[Transaction],
+    observed: State,
+    max_orders: int = 50_000,
+) -> Optional[list[Transaction]]:
+    """A serial order of ``committed`` reproducing ``observed``, or ``None``.
+
+    Only the documents present in ``initial`` are compared (a site holding a
+    subset of the database is checked against its subset). ``max_orders``
+    caps the permutation search (8! = 40320 fits the default).
+    """
+    relevant = {name: text for name, text in observed.items() if name in initial}
+
+    def matches(order: Sequence[Transaction]) -> bool:
+        state = replay_serial(initial, order)
+        return all(state[name] == text for name, text in relevant.items())
+
+    for order in islice(permutations(committed), max_orders):
+        if matches(order):
+            return list(order)
+    return None
+
+
+def final_state_serializable(
+    initial: dict[str, Document],
+    committed: Sequence[Transaction],
+    observed: State,
+    max_orders: int = 50_000,
+) -> bool:
+    """True when some serial order of ``committed`` yields ``observed``."""
+    return find_equivalent_serial_order(initial, committed, observed, max_orders) is not None

@@ -1,0 +1,21 @@
+"""Workloads: XMark generator, query/update templates, DTXTester, metrics."""
+
+from .generator import DTXTester, WorkloadSpec
+from .metrics import ExperimentPoint, FigureData, point_from_run, render_comparison
+from .queries import QUERY_TEMPLATES, UPDATE_TEMPLATES
+from .xmark import REGIONS, XMarkStats, generate_xmark, xmark_fragments
+
+__all__ = [
+    "DTXTester",
+    "ExperimentPoint",
+    "FigureData",
+    "QUERY_TEMPLATES",
+    "REGIONS",
+    "UPDATE_TEMPLATES",
+    "WorkloadSpec",
+    "XMarkStats",
+    "generate_xmark",
+    "point_from_run",
+    "render_comparison",
+    "xmark_fragments",
+]

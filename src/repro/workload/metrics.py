@@ -1,0 +1,125 @@
+"""Experiment metrics: aggregation and comparison across runs.
+
+Turns :class:`~repro.core.results.RunResult` objects into the rows the
+paper's figures plot — response time per configuration, deadlock counts,
+throughput/concurrency series — and renders ASCII tables for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.results import RunResult
+
+
+@dataclass
+class ExperimentPoint:
+    """One (x, series) measurement in a figure."""
+
+    series: str  # e.g. 'xdgl/partial'
+    x: float  # e.g. number of clients
+    response_ms: float
+    deadlocks: int
+    committed: int
+    aborted: int
+    duration_ms: float
+    messages: int
+    extra: dict = field(default_factory=dict)
+
+
+def point_from_run(series: str, x: float, run: RunResult, **extra) -> ExperimentPoint:
+    return ExperimentPoint(
+        series=series,
+        x=x,
+        response_ms=run.mean_response_ms(),
+        deadlocks=run.total_deadlocks,
+        committed=len(run.committed),
+        aborted=len(run.aborted),
+        duration_ms=run.duration_ms,
+        messages=run.network_messages,
+        extra=dict(extra),
+    )
+
+
+@dataclass
+class FigureData:
+    """All measurements of one reproduced figure."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    points: list[ExperimentPoint] = field(default_factory=list)
+
+    def add(self, point: ExperimentPoint) -> None:
+        self.points.append(point)
+
+    def series_names(self) -> list[str]:
+        seen: list[str] = []
+        for p in self.points:
+            if p.series not in seen:
+                seen.append(p.series)
+        return seen
+
+    def xs(self) -> list[float]:
+        seen: list[float] = []
+        for p in self.points:
+            if p.x not in seen:
+                seen.append(p.x)
+        return sorted(seen)
+
+    def value(self, series: str, x: float, metric: str = "response_ms") -> Optional[float]:
+        for p in self.points:
+            if p.series == series and p.x == x:
+                return getattr(p, metric)
+        return None
+
+    def series_values(self, series: str, metric: str = "response_ms") -> list[float]:
+        return [
+            v
+            for x in self.xs()
+            if (v := self.value(series, x, metric)) is not None
+        ]
+
+    def render(self, metric: str = "response_ms", fmt: str = "{:.2f}") -> str:
+        """ASCII table: rows = x values, columns = series."""
+        series = self.series_names()
+        header = [self.x_label] + series
+        rows: list[list[str]] = []
+        for x in self.xs():
+            row = [self._fmt_x(x)]
+            for s in series:
+                v = self.value(s, x, metric)
+                row.append(fmt.format(v) if v is not None else "-")
+            rows.append(row)
+        return _table(f"{self.figure_id}: {self.title} [{metric}]", header, rows)
+
+    @staticmethod
+    def _fmt_x(x: float) -> str:
+        return str(int(x)) if float(x).is_integer() else f"{x:g}"
+
+
+def _table(title: str, header: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [title, " | ".join(h.ljust(w) for h, w in zip(header, widths)), sep]
+    for row in rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def render_comparison(title: str, runs: dict[str, RunResult]) -> str:
+    """Side-by-side summary of several runs (used by examples)."""
+    header = ["metric"] + list(runs)
+    rows = [
+        ["committed"] + [str(len(r.committed)) for r in runs.values()],
+        ["aborted"] + [str(len(r.aborted)) for r in runs.values()],
+        ["mean response (ms)"] + [f"{r.mean_response_ms():.2f}" for r in runs.values()],
+        ["deadlocks"] + [str(r.total_deadlocks) for r in runs.values()],
+        ["duration (ms)"] + [f"{r.duration_ms:.1f}" for r in runs.values()],
+        ["messages"] + [str(r.network_messages) for r in runs.values()],
+    ]
+    return _table(title, header, rows)

@@ -1,0 +1,27 @@
+"""Concise programmatic construction of XML trees.
+
+``E("person", E("id", text="4"), E("name", text="Ana"))`` builds a detached
+subtree; :func:`doc` wraps a root element into a named document. Used
+pervasively in tests and by the XMark generator.
+"""
+
+from __future__ import annotations
+
+from .model import Document, Element
+
+
+def E(tag: str, *children: Element, text: str | None = None, **attrib: str) -> Element:
+    """Build a detached element with ``children``, ``text`` and attributes.
+
+    Attribute values are coerced to ``str`` so numeric literals read
+    naturally: ``E("product", id="13")`` and ``E("product", id=13)`` agree.
+    """
+    elem = Element(tag, {k: str(v) for k, v in attrib.items()}, text)
+    for child in children:
+        elem.append(child)
+    return elem
+
+
+def doc(name: str, root: Element) -> Document:
+    """Wrap a detached element tree into a :class:`Document`."""
+    return Document(name, root)

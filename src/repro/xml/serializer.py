@@ -1,0 +1,52 @@
+"""Serialization of :mod:`repro.xml.model` trees back to XML text."""
+
+from __future__ import annotations
+
+from .model import Document, Element
+
+
+def _escape_text(s: str) -> str:
+    return s.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _escape_attr(s: str) -> str:
+    return _escape_text(s).replace('"', "&quot;")
+
+
+def serialize_element(elem: Element, indent: int | None = None, _depth: int = 0) -> str:
+    """Serialize one element (and subtree).
+
+    ``indent=None`` produces compact one-line output; an integer produces
+    pretty-printed output with that many spaces per level. Pretty printing
+    only reflows structure (never text content), so compact and pretty forms
+    parse back to identical trees.
+    """
+    pad = "" if indent is None else " " * (indent * _depth)
+    attrs = "".join(f' {k}="{_escape_attr(v)}"' for k, v in elem.attrib.items())
+    open_tag = f"{pad}<{elem.tag}{attrs}"
+    if not elem.children and elem.text is None:
+        return open_tag + "/>"
+    parts = [open_tag + ">"]
+    if elem.text is not None:
+        parts.append(_escape_text(elem.text))
+    if elem.children:
+        if indent is None:
+            parts.extend(serialize_element(c, None) for c in elem.children)
+            parts.append(f"</{elem.tag}>")
+        else:
+            child_parts = [serialize_element(c, indent, _depth + 1) for c in elem.children]
+            parts.append("\n" + "\n".join(child_parts) + "\n" + pad)
+            parts.append(f"</{elem.tag}>")
+    else:
+        parts.append(f"</{elem.tag}>")
+    return "".join(parts)
+
+
+def serialize_document(doc: Document, indent: int | None = None, declaration: bool = False) -> str:
+    """Serialize a whole document; optionally prepend an XML declaration."""
+    if doc.root is None:
+        raise ValueError(f"document {doc.name!r} has no root")
+    body = serialize_element(doc.root, indent)
+    if declaration:
+        return '<?xml version="1.0" encoding="UTF-8"?>\n' + body
+    return body

@@ -1,0 +1,29 @@
+"""XPath subset: lexer, parser, evaluator and structural matcher.
+
+This is the query language of DTX (paper §2: the XDGL protocol "uses a subset
+of the XPath language to recover information from XML documents").
+"""
+
+from .ast import Axis, CompareOp, LocationPath, NodeTest, NodeTestKind, Step
+from .evaluator import EvalStats, evaluate, evaluate_values
+from .guide import GuideMatch, match_structure
+from .parser import parse_xpath
+from .tokens import Token, TokenType, tokenize
+
+__all__ = [
+    "Axis",
+    "CompareOp",
+    "EvalStats",
+    "GuideMatch",
+    "LocationPath",
+    "NodeTest",
+    "NodeTestKind",
+    "Step",
+    "Token",
+    "TokenType",
+    "evaluate",
+    "evaluate_values",
+    "match_structure",
+    "parse_xpath",
+    "tokenize",
+]

@@ -1,0 +1,149 @@
+"""Structural path matching for lock-target computation.
+
+XDGL does not lock document nodes: it locks nodes of the DataGuide, the
+structural summary in which every label path occurs exactly once. Computing
+the lock set for an operation therefore needs *structural* matching only —
+value and positional predicates are ignored for target selection, but the
+nodes named by predicate paths become additional (shared) lock targets, per
+the paper: "On the target nodes of the path-expression predicate are used ST,
+and IS on its ancestors."
+
+The functions here are generic over any tree whose nodes expose ``tag`` and
+``children`` (both :class:`repro.dataguide.DataGuideNode` and plain
+:class:`repro.xml.model.Element` qualify, which the tests exploit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from .ast import (
+    Axis,
+    BoolExpr,
+    Comparison,
+    Exists,
+    LocationPath,
+    NodeTestKind,
+    PathOperand,
+    Predicate,
+)
+from .parser import parse_xpath
+
+
+@dataclass
+class GuideMatch:
+    """Result of matching a path against a structural summary.
+
+    Attributes
+    ----------
+    targets:
+        Guide nodes selected by the path itself (the nodes to lock in the
+        operation's primary mode).
+    predicate_targets:
+        Guide nodes named by predicate sub-paths (locked in shared mode).
+    """
+
+    targets: list = field(default_factory=list)
+    predicate_targets: list = field(default_factory=list)
+
+
+def match_structure(path: Union[str, LocationPath], root, stats=None) -> GuideMatch:
+    """Match ``path`` against the tree rooted at ``root``.
+
+    ``root`` is treated as the single child of a virtual document node, so an
+    absolute path ``/people`` matches a root tagged ``people``. Relative paths
+    are matched as if rooted at ``root`` directly. ``stats`` (an object with a
+    ``visit(n)`` method, e.g. :class:`repro.xpath.evaluator.EvalStats`) meters
+    how many structure nodes the match examined.
+    """
+    if isinstance(path, str):
+        path = parse_xpath(path)
+    match = GuideMatch()
+    if root is None or not path.steps:
+        return match
+
+    current = _initial(path, root)
+    for i, step in enumerate(path.steps):
+        is_last = i == len(path.steps) - 1
+        nxt: list = []
+        seen: set[int] = set()
+        for ctx, from_doc in current:
+            if step.test.kind in (NodeTestKind.ATTRIBUTE, NodeTestKind.TEXT):
+                # Attribute/text steps resolve to their owning element node.
+                candidates = [ctx] if not from_doc else []
+            else:
+                candidates = _axis_nodes(ctx, step.axis, from_doc)
+                if stats is not None:
+                    stats.visit(len(candidates))
+                name = step.test.name
+                if name != "*":
+                    candidates = [c for c in candidates if c.tag == name]
+            for c in candidates:
+                for pred in step.predicates:
+                    _collect_predicate_targets(pred, c, match, stats)
+                if id(c) not in seen:
+                    seen.add(id(c))
+                    nxt.append((c, False))
+        current = nxt
+        if not current:
+            break
+        if is_last:
+            match.targets = [c for c, _ in current]
+    return match
+
+
+def _initial(path: LocationPath, root) -> list[tuple[object, bool]]:
+    if path.absolute:
+        return [(root, True)]
+    return [(root, False)]
+
+
+def _axis_nodes(ctx, axis: Axis, from_doc: bool) -> list:
+    if from_doc:
+        if axis is Axis.CHILD:
+            return [ctx]
+        return _subtree(ctx)
+    if axis is Axis.CHILD:
+        return list(ctx.children)
+    out = _subtree(ctx)
+    return out[1:]  # strict descendants
+
+
+def _subtree(node) -> list:
+    out = []
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        out.append(n)
+        stack.extend(reversed(list(n.children)))
+    return out
+
+
+def _collect_predicate_targets(pred: Predicate, ctx, match: GuideMatch, stats=None) -> None:
+    """Record the guide nodes named by predicate sub-paths under ``ctx``."""
+    paths: list[LocationPath] = []
+    _walk_predicate(pred, paths)
+    for p in paths:
+        if p.absolute:
+            continue  # absolute predicate paths are resolved at top level by callers
+        sub = match_structure(p, ctx, stats)
+        # match_structure treats ctx as a relative root; predicate paths start
+        # *below* ctx, so re-run per child semantics by matching relative path.
+        for t in sub.targets:
+            if t is not ctx:
+                match.predicate_targets.append(t)
+        match.predicate_targets.extend(sub.predicate_targets)
+
+
+def _walk_predicate(pred: Predicate, out: list[LocationPath]) -> None:
+    if isinstance(pred, Comparison):
+        for side in (pred.left, pred.right):
+            if isinstance(side, PathOperand):
+                out.append(side.path)
+    elif isinstance(pred, Exists):
+        out.append(pred.path)
+    elif isinstance(pred, BoolExpr):
+        for sub in pred.operands:
+            _walk_predicate(sub, out)
+    # Position predicates contribute no extra lock targets.

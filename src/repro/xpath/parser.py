@@ -1,0 +1,211 @@
+"""Recursive-descent parser for the XPath subset.
+
+Grammar (EBNF)::
+
+    path        := ('/' | '//')? rel_path
+    rel_path    := step (('/' | '//') step)*
+    step        := node_test predicate*
+    node_test   := NAME | '*' | '@' NAME | 'text' '(' ')'
+    predicate   := '[' or_expr ']'
+    or_expr     := and_expr ('or' and_expr)*
+    and_expr    := atom ('and' atom)*
+    atom        := NUMBER                       -- positional index
+                 | operand (cmp_op operand)?    -- comparison or existence
+    operand     := literal | rel_path
+    literal     := STRING | NUMBER
+"""
+
+from __future__ import annotations
+
+from ..errors import XPathSyntaxError
+from .ast import (
+    Axis,
+    BoolExpr,
+    Comparison,
+    CompareOp,
+    Exists,
+    Literal,
+    LocationPath,
+    NodeTest,
+    NodeTestKind,
+    Operand,
+    PathOperand,
+    Position,
+    Predicate,
+    Step,
+)
+from .tokens import Token, TokenType, tokenize
+
+_CMP_OPS = {
+    TokenType.EQ: CompareOp.EQ,
+    TokenType.NEQ: CompareOp.NEQ,
+    TokenType.LT: CompareOp.LT,
+    TokenType.LE: CompareOp.LE,
+    TokenType.GT: CompareOp.GT,
+    TokenType.GE: CompareOp.GE,
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.source = source
+
+    # -- token plumbing --------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, ttype: TokenType) -> Token:
+        tok = self.peek()
+        if tok.type is not ttype:
+            raise XPathSyntaxError(
+                f"expected {ttype.name} but found {tok.type.name} in {self.source!r}",
+                position=tok.position,
+            )
+        return self.next()
+
+    def accept(self, ttype: TokenType) -> Token | None:
+        if self.peek().type is ttype:
+            return self.next()
+        return None
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_path(self) -> LocationPath:
+        absolute = False
+        first_axis = Axis.CHILD
+        if self.accept(TokenType.SLASH):
+            absolute = True
+        elif self.accept(TokenType.DSLASH):
+            absolute = True
+            first_axis = Axis.DESCENDANT
+        path = self._rel_path(first_axis, absolute)
+        tok = self.peek()
+        if tok.type is not TokenType.EOF:
+            raise XPathSyntaxError(
+                f"trailing input at {tok.value!r} in {self.source!r}", position=tok.position
+            )
+        return path
+
+    def _rel_path(self, first_axis: Axis, absolute: bool) -> LocationPath:
+        steps = [self._step(first_axis)]
+        while True:
+            if self.accept(TokenType.SLASH):
+                steps.append(self._step(Axis.CHILD))
+            elif self.accept(TokenType.DSLASH):
+                steps.append(self._step(Axis.DESCENDANT))
+            else:
+                break
+        return LocationPath(absolute=absolute, steps=tuple(steps))
+
+    def _step(self, axis: Axis) -> Step:
+        tok = self.peek()
+        if tok.type is TokenType.STAR:
+            self.next()
+            test = NodeTest(NodeTestKind.NAME, "*")
+        elif tok.type is TokenType.AT:
+            self.next()
+            name = self.expect(TokenType.NAME)
+            test = NodeTest(NodeTestKind.ATTRIBUTE, name.value)
+        elif tok.type is TokenType.NAME:
+            self.next()
+            if tok.value == "text" and self.peek().type is TokenType.LPAREN:
+                self.next()
+                self.expect(TokenType.RPAREN)
+                test = NodeTest(NodeTestKind.TEXT, "")
+            else:
+                test = NodeTest(NodeTestKind.NAME, tok.value)
+        else:
+            raise XPathSyntaxError(
+                f"expected a step but found {tok.type.name} in {self.source!r}",
+                position=tok.position,
+            )
+        predicates: list[Predicate] = []
+        while self.accept(TokenType.LBRACKET):
+            predicates.append(self._or_expr())
+            self.expect(TokenType.RBRACKET)
+        if test.kind in (NodeTestKind.ATTRIBUTE, NodeTestKind.TEXT) and predicates:
+            raise XPathSyntaxError(
+                f"predicates are not supported on {test} steps", position=tok.position
+            )
+        return Step(axis=axis, test=test, predicates=tuple(predicates))
+
+    def _or_expr(self) -> Predicate:
+        parts = [self._and_expr()]
+        while self.accept(TokenType.OR):
+            parts.append(self._and_expr())
+        if len(parts) == 1:
+            return parts[0]
+        return BoolExpr("or", tuple(parts))
+
+    def _and_expr(self) -> Predicate:
+        parts = [self._atom()]
+        while self.accept(TokenType.AND):
+            parts.append(self._atom())
+        if len(parts) == 1:
+            return parts[0]
+        return BoolExpr("and", tuple(parts))
+
+    def _atom(self) -> Predicate:
+        tok = self.peek()
+        # A bare number predicate is positional: person[2]
+        if tok.type is TokenType.NUMBER:
+            nxt = self.tokens[self.pos + 1]
+            if nxt.type in (TokenType.RBRACKET, TokenType.AND, TokenType.OR):
+                self.next()
+                if "." in tok.value:
+                    raise XPathSyntaxError(
+                        f"positional index must be an integer: [{tok.value}]",
+                        position=tok.position,
+                    )
+                index = int(tok.value)
+                if index < 1:
+                    raise XPathSyntaxError(
+                        f"positional index must be >= 1: [{tok.value}]", position=tok.position
+                    )
+                return Position(index)
+        left = self._operand()
+        op_tok = self.peek()
+        if op_tok.type in _CMP_OPS:
+            self.next()
+            right = self._operand()
+            return Comparison(left, _CMP_OPS[op_tok.type], right)
+        if isinstance(left, PathOperand):
+            return Exists(left.path)
+        raise XPathSyntaxError(
+            f"a bare literal is not a predicate in {self.source!r}", position=op_tok.position
+        )
+
+    def _operand(self) -> Operand:
+        tok = self.peek()
+        if tok.type is TokenType.STRING:
+            self.next()
+            return Literal(tok.value)
+        if tok.type is TokenType.NUMBER:
+            self.next()
+            return Literal(float(tok.value))
+        if tok.type in (TokenType.NAME, TokenType.AT, TokenType.STAR):
+            path = self._rel_path(Axis.CHILD, absolute=False)
+            return PathOperand(path)
+        raise XPathSyntaxError(
+            f"expected an operand but found {tok.type.name} in {self.source!r}",
+            position=tok.position,
+        )
+
+
+def parse_xpath(expr: str) -> LocationPath:
+    """Parse ``expr`` into a :class:`LocationPath`.
+
+    Raises :class:`repro.errors.XPathSyntaxError` for anything outside the
+    supported subset.
+    """
+    if not expr or not expr.strip():
+        raise XPathSyntaxError("empty XPath expression")
+    return _Parser(tokenize(expr), expr).parse_path()

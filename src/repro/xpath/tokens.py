@@ -1,0 +1,130 @@
+"""Lexer for the XPath subset used by DTX/XDGL.
+
+The subset (paper §2: "XDGL uses a subset of the XPath language") covers
+absolute/relative location paths with ``/`` and ``//`` steps, name tests,
+``*`` wildcards, attribute tests (``@name``), ``text()``, and predicates with
+comparisons, ``and``/``or`` and positional indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from ..errors import XPathSyntaxError
+
+
+class TokenType(Enum):
+    SLASH = auto()  # /
+    DSLASH = auto()  # //
+    STAR = auto()  # *
+    NAME = auto()  # element name
+    AT = auto()  # @
+    LBRACKET = auto()  # [
+    RBRACKET = auto()  # ]
+    LPAREN = auto()  # (
+    RPAREN = auto()  # )
+    EQ = auto()  # =
+    NEQ = auto()  # !=
+    LT = auto()  # <
+    LE = auto()  # <=
+    GT = auto()  # >
+    GE = auto()  # >=
+    STRING = auto()  # 'x' or "x"
+    NUMBER = auto()  # 42 or 10.30
+    AND = auto()  # and
+    OR = auto()  # or
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}@{self.position})"
+
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789.-:")
+_PUNCT = {
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "@": TokenType.AT,
+    "*": TokenType.STAR,
+    "=": TokenType.EQ,
+}
+
+
+def tokenize(expr: str) -> list[Token]:
+    """Convert ``expr`` to a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    i, n = 0, len(expr)
+    while i < n:
+        c = expr[i]
+        if c in " \t\r\n":
+            i += 1
+            continue
+        if c == "/":
+            if expr.startswith("//", i):
+                tokens.append(Token(TokenType.DSLASH, "//", i))
+                i += 2
+            else:
+                tokens.append(Token(TokenType.SLASH, "/", i))
+                i += 1
+        elif c == "!":
+            if expr.startswith("!=", i):
+                tokens.append(Token(TokenType.NEQ, "!=", i))
+                i += 2
+            else:
+                raise XPathSyntaxError("expected '!=' ", position=i)
+        elif c == "<":
+            if expr.startswith("<=", i):
+                tokens.append(Token(TokenType.LE, "<=", i))
+                i += 2
+            else:
+                tokens.append(Token(TokenType.LT, "<", i))
+                i += 1
+        elif c == ">":
+            if expr.startswith(">=", i):
+                tokens.append(Token(TokenType.GE, ">=", i))
+                i += 2
+            else:
+                tokens.append(Token(TokenType.GT, ">", i))
+                i += 1
+        elif c in _PUNCT:
+            tokens.append(Token(_PUNCT[c], c, i))
+            i += 1
+        elif c in ("'", '"'):
+            end = expr.find(c, i + 1)
+            if end < 0:
+                raise XPathSyntaxError("unterminated string literal", position=i)
+            tokens.append(Token(TokenType.STRING, expr[i + 1 : end], i))
+            i = end + 1
+        elif c.isdigit():
+            start = i
+            while i < n and (expr[i].isdigit() or expr[i] == "."):
+                i += 1
+            lit = expr[start:i]
+            if lit.count(".") > 1:
+                raise XPathSyntaxError(f"bad number literal {lit!r}", position=start)
+            tokens.append(Token(TokenType.NUMBER, lit, start))
+        elif c in _NAME_START:
+            start = i
+            while i < n and expr[i] in _NAME_CHARS:
+                i += 1
+            name = expr[start:i]
+            if name == "and":
+                tokens.append(Token(TokenType.AND, name, start))
+            elif name == "or":
+                tokens.append(Token(TokenType.OR, name, start))
+            else:
+                tokens.append(Token(TokenType.NAME, name, start))
+        else:
+            raise XPathSyntaxError(f"unexpected character {c!r}", position=i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

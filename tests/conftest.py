@@ -1,0 +1,71 @@
+"""Shared fixtures: the paper's example documents and small helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xml import E, doc, parse_document
+
+
+def make_people_doc(name: str = "d1"):
+    """Paper §2.4 document d1: people with person{id,name}."""
+    root = E(
+        "people",
+        E("person", E("id", text="1"), E("name", text="Carlos")),
+        E("person", E("id", text="4"), E("name", text="Maria")),
+        E("person", E("id", text="7"), E("name", text="Joao")),
+    )
+    return doc(name, root)
+
+
+def make_products_doc(name: str = "d2"):
+    """Paper §2.4 document d2: products with product{id,description,price}."""
+    root = E(
+        "products",
+        E(
+            "product",
+            E("id", text="4"),
+            E("description", text="Monitor"),
+            E("price", text="250.00"),
+        ),
+        E(
+            "product",
+            E("id", text="14"),
+            E("description", text="Webcam"),
+            E("price", text="35.50"),
+        ),
+    )
+    return doc(name, root)
+
+
+@pytest.fixture
+def people_doc():
+    return make_people_doc()
+
+
+@pytest.fixture
+def products_doc():
+    return make_products_doc()
+
+
+@pytest.fixture
+def catalog_doc():
+    """A deeper document exercising //, predicates and repetition."""
+    text = """
+    <site>
+      <regions>
+        <europe>
+          <item id="i1"><name>Sword</name><price>10.0</price></item>
+          <item id="i2"><name>Shield</name><price>20.0</price></item>
+        </europe>
+        <asia>
+          <item id="i3"><name>Bow</name><price>15.0</price></item>
+        </asia>
+      </regions>
+      <people>
+        <person id="p1"><name>Ana</name><age>30</age></person>
+        <person id="p2"><name>Bruno</name><age>41</age></person>
+      </people>
+    </site>
+    """
+    return parse_document(text, name="catalog")

@@ -1,0 +1,86 @@
+"""Unit tests for lock modes and compatibility matrices."""
+
+import pytest
+
+from repro.errors import LockError
+from repro.locking import (
+    DOC_MATRIX,
+    TREE_MATRIX,
+    XDGL_MATRIX,
+    XDGL_EXCLUSIVE_MODES,
+    XDGL_SHARED_MODES,
+    CompatibilityMatrix,
+    DocLockMode,
+    LockMode,
+    TreeLockMode,
+)
+
+
+class TestXDGLMatrix:
+    def test_exclusive_conflict_with_everything(self):
+        for exclusive in XDGL_EXCLUSIVE_MODES:
+            for mode in LockMode:
+                assert not XDGL_MATRIX.compatible(exclusive, mode)
+                assert not XDGL_MATRIX.compatible(mode, exclusive)
+
+    def test_is_compatible_with_all_shared(self):
+        for mode in XDGL_SHARED_MODES | {LockMode.IX}:
+            assert XDGL_MATRIX.compatible(LockMode.IS, mode)
+
+    def test_st_ix_conflict_drives_paper_scenario(self):
+        # Paper §2.4: "Transaction t1 needs to carry out lock IX in the node
+        # ... This node has a lock ST that generates an incompatibility".
+        assert not XDGL_MATRIX.compatible(LockMode.ST, LockMode.IX)
+        assert not XDGL_MATRIX.compatible(LockMode.IX, LockMode.ST)
+
+    def test_st_compatible_with_reads_and_inserts(self):
+        for mode in (LockMode.IS, LockMode.ST, LockMode.SI, LockMode.SA, LockMode.SB):
+            assert XDGL_MATRIX.compatible(LockMode.ST, mode)
+
+    def test_positional_insert_self_conflicts(self):
+        assert not XDGL_MATRIX.compatible(LockMode.SA, LockMode.SA)
+        assert not XDGL_MATRIX.compatible(LockMode.SB, LockMode.SB)
+        assert XDGL_MATRIX.compatible(LockMode.SA, LockMode.SB)
+        assert XDGL_MATRIX.compatible(LockMode.SI, LockMode.SI)
+
+    def test_symmetry(self):
+        for a in LockMode:
+            for b in LockMode:
+                assert XDGL_MATRIX.compatible(a, b) == XDGL_MATRIX.compatible(b, a)
+
+    def test_compatible_with_all(self):
+        held = [LockMode.IS, LockMode.ST]
+        assert XDGL_MATRIX.compatible_with_all(held, LockMode.SI)
+        assert not XDGL_MATRIX.compatible_with_all(held, LockMode.IX)
+
+
+class TestTreeAndDocMatrices:
+    def test_tree_matrix_hierarchical_classics(self):
+        assert TREE_MATRIX.compatible(TreeLockMode.IS, TreeLockMode.IX)
+        assert TREE_MATRIX.compatible(TreeLockMode.S, TreeLockMode.S)
+        assert not TREE_MATRIX.compatible(TreeLockMode.S, TreeLockMode.IX)
+        assert not TREE_MATRIX.compatible(TreeLockMode.S, TreeLockMode.X)
+        assert not TREE_MATRIX.compatible(TreeLockMode.IS, TreeLockMode.X)
+        assert TREE_MATRIX.compatible(TreeLockMode.IX, TreeLockMode.IX)
+
+    def test_doc_matrix(self):
+        assert DOC_MATRIX.compatible(DocLockMode.S, DocLockMode.S)
+        assert not DOC_MATRIX.compatible(DocLockMode.S, DocLockMode.X)
+        assert not DOC_MATRIX.compatible(DocLockMode.X, DocLockMode.X)
+
+
+class TestMatrixInfrastructure:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(LockError):
+            CompatibilityMatrix("bad", LockMode, [(LockMode.X, TreeLockMode.S)])
+
+    def test_render_contains_all_modes(self):
+        out = XDGL_MATRIX.render()
+        for mode in LockMode:
+            assert mode.value in out
+
+    def test_pairs_enumeration(self):
+        pairs = DOC_MATRIX.pairs()
+        assert (DocLockMode.S, DocLockMode.S, True) in pairs
+        assert (DocLockMode.S, DocLockMode.X, False) in pairs
+        assert len(pairs) == 3  # SS, SX, XX

@@ -1,0 +1,262 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.dataguide import DataGuide
+from repro.deadlock import WaitForGraph
+from repro.distribution import fragment_document
+from repro.locking import XDGL_MATRIX, LockMode
+from repro.update import (
+    ChangeOp,
+    InsertOp,
+    RemoveOp,
+    RenameOp,
+    UndoLog,
+    apply_update,
+)
+from repro.xml import Document, E, Element, doc, parse_document, serialize_document
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+TAGS = st.sampled_from(["a", "b", "c", "item", "name", "price", "n1", "x-y", "_u"])
+ATTR_KEYS = st.sampled_from(["id", "k", "ref", "lang"])
+TEXTS = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd", "Zs"),
+        whitelist_characters="&<>\"'-.,!?",
+    ),
+    max_size=24,
+).map(lambda s: s.strip() or None)
+
+
+@st.composite
+def elements(draw, max_depth=3, max_children=4):
+    tag = draw(TAGS)
+    attrib = draw(
+        st.dictionaries(ATTR_KEYS, st.text(max_size=10).map(lambda s: s.replace("\x00", "")), max_size=2)
+    )
+    text = draw(TEXTS) if draw(st.booleans()) else None
+    elem = Element(tag, attrib, text)
+    if max_depth > 0:
+        for child in draw(st.lists(elements(max_depth - 1, max_children), max_size=max_children)):
+            elem.append(child)
+    return elem
+
+
+@st.composite
+def documents(draw):
+    return Document("prop", draw(elements()))
+
+
+# ---------------------------------------------------------------------------
+# XML round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestXMLRoundTrip:
+    @given(documents())
+    @settings(max_examples=80)
+    def test_serialize_parse_roundtrip(self, document):
+        text = serialize_document(document)
+        reparsed = parse_document(text)
+        assert serialize_document(reparsed) == text
+
+    @given(documents())
+    @settings(max_examples=40)
+    def test_pretty_and_compact_forms_agree(self, document):
+        pretty = serialize_document(document, indent=2)
+        compact = serialize_document(document)
+        assert serialize_document(parse_document(pretty)) == compact
+
+    @given(documents())
+    @settings(max_examples=40)
+    def test_clone_preserves_serialization(self, document):
+        assert serialize_document(document.clone()) == serialize_document(document)
+
+    @given(documents())
+    @settings(max_examples=40)
+    def test_size_bytes_tracks_serialized_size(self, document):
+        approx = document.size_bytes()
+        actual = len(serialize_document(document))
+        assert approx >= actual / 4  # rough but monotone estimate
+
+
+# ---------------------------------------------------------------------------
+# DataGuide invariants under random update sequences
+# ---------------------------------------------------------------------------
+
+
+def _base_doc():
+    return doc(
+        "g",
+        E(
+            "lib",
+            E("shelf", E("book", E("title", text="t1"), E("price", text="5"))),
+            E("shelf", E("book", E("title", text="t2"))),
+            E("bin"),
+        ),
+    )
+
+
+@st.composite
+def update_ops(draw):
+    kind = draw(st.sampled_from(["insert", "remove", "rename", "change"]))
+    if kind == "insert":
+        frag = draw(st.sampled_from(
+            ["<book><title>new</title></book>", "<tag/>", "<note><x/></note>"]
+        ))
+        target = draw(st.sampled_from(["/lib", "/lib/shelf", "//book", "/lib/bin"]))
+        return InsertOp(frag, target)
+    if kind == "remove":
+        target = draw(st.sampled_from(
+            ["/lib/shelf/book[1]", "//note", "//tag", "/lib/shelf/book/price"]
+        ))
+        return RemoveOp(target)
+    if kind == "rename":
+        target = draw(st.sampled_from(["/lib/shelf", "//book/title", "/lib/bin"]))
+        return RenameOp(target, draw(st.sampled_from(["row", "header", "zone"])))
+    target = draw(st.sampled_from(["//title", "//price"]))
+    return ChangeOp(target, draw(st.text(max_size=8).map(lambda s: s.replace("\x00", "x"))))
+
+
+class TestDataGuideProperties:
+    @given(st.lists(update_ops(), min_size=1, max_size=8))
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_guide_stays_synced_under_random_updates(self, ops):
+        document = _base_doc()
+        guide = DataGuide.build(document)
+        for op in ops:
+            changes = apply_update(op, document)
+            for c in changes:
+                guide.apply_change(c)
+        guide.validate_against(document)
+
+    @given(st.lists(update_ops(), min_size=1, max_size=8))
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_rollback_restores_document_and_guide(self, ops):
+        # Mirrors DTXSite._abort_at_site: each operation's data rollback is
+        # immediately followed by its guide re-sync (undo_change inspects the
+        # live tree, so data and guide must be unwound in lockstep).
+        document = _base_doc()
+        before = serialize_document(document)
+        guide = DataGuide.build(document)
+        undo = UndoLog()
+        per_op: list[tuple[int, list]] = []
+        for op in ops:
+            n_before = len(undo)
+            changes = apply_update(op, document, undo)
+            for c in changes:
+                guide.apply_change(c)
+            per_op.append((len(undo) - n_before, changes))
+        for undo_count, changes in reversed(per_op):
+            undo.rollback_last(undo_count)
+            for c in reversed(changes):
+                guide.undo_change(c)
+        assert serialize_document(document) == before
+        guide.validate_against(document)
+
+
+# ---------------------------------------------------------------------------
+# lock matrix
+# ---------------------------------------------------------------------------
+
+
+class TestLockMatrixProperties:
+    @given(st.lists(st.sampled_from(list(LockMode)), min_size=1, max_size=4),
+           st.sampled_from(list(LockMode)))
+    @settings(max_examples=100)
+    def test_compatible_with_all_is_conjunction(self, held, requested):
+        expected = all(XDGL_MATRIX.compatible(h, requested) for h in held)
+        assert XDGL_MATRIX.compatible_with_all(held, requested) == expected
+
+    @given(st.sampled_from(list(LockMode)), st.sampled_from(list(LockMode)))
+    @settings(max_examples=100)
+    def test_symmetry(self, a, b):
+        assert XDGL_MATRIX.compatible(a, b) == XDGL_MATRIX.compatible(b, a)
+
+    @given(st.sampled_from(list(LockMode)))
+    @settings(max_examples=20)
+    def test_exclusives_block_everything(self, mode):
+        assert not XDGL_MATRIX.compatible(LockMode.X, mode)
+        assert not XDGL_MATRIX.compatible(LockMode.XT, mode)
+
+
+# ---------------------------------------------------------------------------
+# wait-for graph
+# ---------------------------------------------------------------------------
+
+
+class TestWfgProperties:
+    @given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=25))
+    @settings(max_examples=100)
+    def test_reported_cycle_is_a_real_cycle(self, edge_list):
+        g = WaitForGraph()
+        for a, b in edge_list:
+            g.add_edge(a, b)
+        cycle = g.find_any_cycle()
+        if cycle is not None:
+            assert len(cycle) >= 2
+            for i, node in enumerate(cycle):
+                nxt = cycle[(i + 1) % len(cycle)]
+                assert nxt in g.successors(node), (cycle, g.edges())
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=12),
+        st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=12),
+    )
+    @settings(max_examples=100)
+    def test_union_contains_both_edge_sets(self, e1, e2):
+        g1, g2 = WaitForGraph.from_edges(e1), WaitForGraph.from_edges(e2)
+        merged = g1.union(g2)
+        expected = {(a, b) for a, b in e1 if a != b} | {(a, b) for a, b in e2 if a != b}
+        assert set(merged.edges()) == expected
+
+    @given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=25))
+    @settings(max_examples=60)
+    def test_acyclic_after_removing_cycle_nodes_eventually(self, edge_list):
+        g = WaitForGraph.from_edges(edge_list)
+        for _ in range(20):
+            cycle = g.find_any_cycle()
+            if cycle is None:
+                break
+            g.remove_node(max(cycle))
+        assert g.find_any_cycle() is None
+
+
+# ---------------------------------------------------------------------------
+# fragmentation
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def flat_documents(draw):
+    n = draw(st.integers(2, 20))
+    root = E("base")
+    for i in range(n):
+        child = E("rec", E("id", text=str(i)))
+        for _ in range(draw(st.integers(0, 4))):
+            child.append(E("pad", text="x" * draw(st.integers(1, 30))))
+        root.append(child)
+    return Document("fr", root)
+
+
+class TestFragmentationProperties:
+    @given(flat_documents(), st.integers(1, 5))
+    @settings(max_examples=60)
+    def test_fragments_partition_without_loss(self, document, k):
+        n_children = len(document.root.children)
+        if k > n_children:
+            k = n_children
+        plan = fragment_document(document, k)
+        ids = [
+            rec.child("id").text
+            for frag in plan.fragments
+            for rec in frag.document.root.children
+        ]
+        assert ids == [str(i) for i in range(n_children)]
+        total = sum(len(f.document.root.children) for f in plan.fragments)
+        assert total == n_children
+        assert all(len(f.document.root.children) >= 1 for f in plan.fragments)

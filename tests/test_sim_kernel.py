@@ -1,0 +1,372 @@
+"""Unit tests for the discrete-event kernel: events, processes, conditions."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Event, Store
+
+
+class TestClockAndTimeouts:
+    def test_time_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(5)
+            log.append(env.now)
+            yield env.timeout(2.5)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [5.0, 7.5]
+
+    def test_zero_delay_timeout(self):
+        env = Environment()
+        done = []
+
+        def proc():
+            yield env.timeout(0)
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done == [0.0]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_timeout_carries_value(self):
+        env = Environment()
+        got = []
+
+        def proc():
+            v = yield env.timeout(1, value="hello")
+            got.append(v)
+
+        env.process(proc())
+        env.run()
+        assert got == ["hello"]
+
+    def test_event_ordering_fifo_at_same_time(self):
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1)
+            order.append(tag)
+
+        for tag in "abc":
+            env.process(proc(tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_time(self):
+        env = Environment()
+        fired = []
+
+        def proc():
+            while True:
+                yield env.timeout(10)
+                fired.append(env.now)
+
+        env.process(proc())
+        env.run(until=35)
+        assert fired == [10.0, 20.0, 30.0]
+        assert env.now == 35.0
+
+    def test_run_until_past_rejected(self):
+        env = Environment()
+        env.run(until=5)
+        with pytest.raises(SimulationError):
+            env.run(until=1)
+
+
+class TestProcessesAndEvents:
+    def test_process_return_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+            return 42
+
+        p = env.process(proc())
+        assert env.run(until=p) == 42
+
+    def test_manual_event_wakes_waiter(self):
+        env = Environment()
+        gate = env.event()
+        woke = []
+
+        def waiter():
+            v = yield gate
+            woke.append((env.now, v))
+
+        def opener():
+            yield env.timeout(3)
+            gate.succeed("open")
+
+        env.process(waiter())
+        env.process(opener())
+        env.run()
+        assert woke == [(3.0, "open")]
+
+    def test_multiple_waiters_one_event(self):
+        env = Environment()
+        gate = env.event()
+        woke = []
+
+        def waiter(tag):
+            yield gate
+            woke.append(tag)
+
+        for tag in "abc":
+            env.process(waiter(tag))
+
+        def opener():
+            yield env.timeout(1)
+            gate.succeed()
+
+        env.process(opener())
+        env.run()
+        assert sorted(woke) == ["a", "b", "c"]
+
+    def test_event_cannot_trigger_twice(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_process_waiting_on_processed_event(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed("early")
+        env.run()
+        got = []
+
+        def late():
+            v = yield ev
+            got.append(v)
+
+        env.process(late())
+        env.run()
+        assert got == ["early"]
+
+    def test_unhandled_failure_crashes_run(self):
+        env = Environment()
+
+        def bad():
+            yield env.timeout(1)
+            raise ValueError("boom")
+
+        env.process(bad())
+        with pytest.raises(ValueError, match="boom"):
+            env.run()
+
+    def test_waiter_catches_failure_of_subprocess(self):
+        env = Environment()
+        caught = []
+
+        def bad():
+            yield env.timeout(1)
+            raise ValueError("boom")
+
+        def guard():
+            try:
+                yield env.process(bad())
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        env.process(guard())
+        env.run()
+        assert caught == ["boom"]
+
+    def test_run_until_failed_process_raises(self):
+        env = Environment()
+
+        def bad():
+            yield env.timeout(1)
+            raise RuntimeError("x")
+
+        p = env.process(bad())
+        with pytest.raises(RuntimeError):
+            env.run(until=p)
+
+    def test_yield_non_event_fails_process(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_run_until_event_never_fires(self):
+        env = Environment()
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            env.run(until=ev)
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self):
+        env = Environment()
+        done = []
+
+        def proc():
+            t1 = env.timeout(2, value="a")
+            t2 = env.timeout(5, value="b")
+            results = yield env.all_of([t1, t2])
+            done.append((env.now, sorted(results.values())))
+
+        env.process(proc())
+        env.run()
+        assert done == [(5.0, ["a", "b"])]
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+        done = []
+
+        def proc():
+            slow = env.timeout(10, value="slow")
+            fast = env.timeout(1, value="fast")
+            results = yield env.any_of([slow, fast])
+            done.append((env.now, list(results.values())))
+
+        env.process(proc())
+        env.run()
+        assert done == [(1.0, ["fast"])]
+
+    def test_all_of_empty_fires_immediately(self):
+        env = Environment()
+        done = []
+
+        def proc():
+            yield env.all_of([])
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done == [0.0]
+
+    def test_any_of_empty_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.any_of([])
+
+    def test_all_of_with_already_processed_children(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed("x")
+        env.run()
+        done = []
+
+        def proc():
+            results = yield env.all_of([ev, env.timeout(1, "y")])
+            done.append(sorted(results.values()))
+
+        env.process(proc())
+        env.run()
+        assert done == [["x", "y"]]
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        store.put("m1")
+        env.process(consumer())
+        env.run()
+        assert got == ["m1"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def producer():
+            yield env.timeout(4)
+            store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got == [(4.0, "late")]
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer():
+            while True:
+                item = yield store.get()
+                got.append(item)
+                if item == "c":
+                    return
+
+        for x in "abc":
+            store.put(x)
+        env.process(consumer())
+        env.run()
+        assert got == ["a", "b", "c"]
+
+    def test_multiple_getters_fifo(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(tag):
+            item = yield store.get()
+            got.append((tag, item))
+
+        env.process(consumer("g1"))
+        env.process(consumer("g2"))
+        env.run()
+        store.put("x")
+        store.put("y")
+        env.run()
+        assert got == [("g1", "x"), ("g2", "y")]
+
+    def test_len_and_waiting(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.waiting_getters == 0
+
+
+class TestRealtime:
+    def test_realtime_roughly_tracks_wall_clock(self):
+        import time
+
+        from repro.sim import RealtimeEnvironment
+
+        env = RealtimeEnvironment(factor=0.001)  # 1 sim unit = 1 ms
+
+        def proc():
+            yield env.timeout(30)
+
+        p = env.process(proc())
+        start = time.monotonic()
+        env.run(until=p)
+        elapsed = time.monotonic() - start
+        assert elapsed >= 0.02  # at least ~20ms of real waiting happened

@@ -1,0 +1,164 @@
+"""Unit tests for the XML parser and serializer."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xml import (
+    E,
+    doc,
+    parse_document,
+    parse_fragment,
+    serialize_document,
+    serialize_element,
+)
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        d = parse_document("<a/>")
+        assert d.root.tag == "a"
+        assert d.root.children == ()
+
+    def test_nested_elements(self):
+        d = parse_document("<a><b><c/></b><d/></a>")
+        assert [n.tag for n in d.iter()] == ["a", "b", "c", "d"]
+
+    def test_text_content(self):
+        d = parse_document("<a>hello world</a>")
+        assert d.root.text == "hello world"
+
+    def test_whitespace_only_text_dropped(self):
+        d = parse_document("<a>\n  <b/>\n</a>")
+        assert d.root.text is None
+
+    def test_attributes(self):
+        d = parse_document('<a x="1" y=\'two\'/>')
+        assert d.root.attrib == {"x": "1", "y": "two"}
+
+    def test_attribute_whitespace_tolerated(self):
+        d = parse_document('<a x = "1" />')
+        assert d.root.attrib == {"x": "1"}
+
+    def test_document_name(self):
+        d = parse_document("<a/>", name="mydoc")
+        assert d.name == "mydoc"
+
+    def test_prolog_and_comments_skipped(self):
+        text = '<?xml version="1.0"?><!-- hi --><!DOCTYPE a><a/><!-- bye -->'
+        assert parse_document(text).root.tag == "a"
+
+    def test_comment_inside_element(self):
+        d = parse_document("<a><!-- comment --><b/></a>")
+        assert [c.tag for c in d.root.children] == ["b"]
+
+    def test_cdata(self):
+        d = parse_document("<a><![CDATA[<not parsed> & raw]]></a>")
+        assert d.root.text == "<not parsed> & raw"
+
+    def test_processing_instruction_inside(self):
+        d = parse_document("<a><?pi data?><b/></a>")
+        assert len(d.root.children) == 1
+
+
+class TestEntities:
+    def test_named_entities(self):
+        d = parse_document("<a>&lt;&gt;&amp;&quot;&apos;</a>")
+        assert d.root.text == "<>&\"'"
+
+    def test_numeric_entities(self):
+        d = parse_document("<a>&#65;&#x42;</a>")
+        assert d.root.text == "AB"
+
+    def test_entities_in_attributes(self):
+        d = parse_document('<a v="&amp;&lt;"/>')
+        assert d.root.attrib["v"] == "&<"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a>&nope;</a>")
+
+    def test_bad_char_ref_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a>&#xZZ;</a>")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "<a>",
+            "<a></b>",
+            "<a",
+            "<a x=1/>",
+            "<a x='1' x='2'/>",
+            "<a/><b/>",
+            "text only",
+            "<a><b></a></b>",
+            "<!-- unterminated",
+            "<a><![CDATA[never closed</a>",
+        ],
+    )
+    def test_malformed_inputs_raise(self, bad):
+        with pytest.raises(XMLParseError):
+            parse_document(bad)
+
+    def test_error_carries_location(self):
+        with pytest.raises(XMLParseError) as exc:
+            parse_document("<a>\n<b x=></b></a>")
+        assert exc.value.line == 2
+
+
+class TestFragment:
+    def test_fragment_is_detached(self):
+        frag = parse_fragment("<product><id>13</id></product>")
+        assert frag.parent is None
+        assert frag.document is None
+        assert frag.node_id == -1
+        assert frag.children[0].node_id == -1
+
+    def test_fragment_attachable(self):
+        d = doc("d", E("products"))
+        frag = parse_fragment("<product/>")
+        d.root.append(frag)
+        assert frag.document is d
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a/>",
+            "<a><b/><c/></a>",
+            '<a x="1"><b>text</b></a>',
+            "<a>needs &amp; escaping &lt;tag&gt;</a>",
+            '<a attr="quote &quot;here&quot;"/>',
+        ],
+    )
+    def test_parse_serialize_parse_fixpoint(self, text):
+        d1 = parse_document(text)
+        s1 = serialize_document(d1)
+        d2 = parse_document(s1)
+        assert serialize_document(d2) == s1
+
+    def test_pretty_print_same_tree(self):
+        d = parse_document("<a><b><c>x</c></b><d/></a>")
+        pretty = serialize_document(d, indent=2)
+        assert "\n" in pretty
+        reparsed = parse_document(pretty)
+        assert serialize_document(reparsed) == serialize_document(d)
+
+    def test_declaration_prefix(self):
+        d = parse_document("<a/>")
+        assert serialize_document(d, declaration=True).startswith("<?xml")
+
+    def test_serialize_element_compact(self):
+        e = E("a", E("b", text="x"))
+        assert serialize_element(e) == "<a><b>x</b></a>"
+
+    def test_empty_document_serialization_fails(self):
+        from repro.xml.model import Document
+
+        with pytest.raises(ValueError):
+            serialize_document(Document("empty"))
