@@ -1,0 +1,1 @@
+"""Benchmark package marker: enables ``from .conftest import run_once``."""

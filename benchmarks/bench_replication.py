@@ -1,0 +1,23 @@
+"""Replication sweep: read throughput scaling vs replication factor.
+
+Primary-copy ROWA over fragmented XMark data: each fragment is placed at
+``factor`` sites, reads run at the coordinator's nearest replica, writes
+at the primary with synchronous commit-time propagation. Expected shape:
+read-only throughput rises (and response time falls) with the factor,
+while update-heavy columns pay the synchronization cost. Set
+``REPRO_FULL=1`` for the denser grid.
+"""
+
+from repro.experiments import check_replication_sweep, replication_sweep
+
+from .conftest import run_once
+
+
+def test_replication_factor_vs_read_ratio(benchmark):
+    sweep = run_once(benchmark, replication_sweep)
+    print()
+    print(sweep.render("tx_per_s"))
+    print()
+    print(sweep.render("response_ms"))
+    for note in check_replication_sweep(sweep):
+        print(" ", note)

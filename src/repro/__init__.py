@@ -17,6 +17,7 @@ Public API highlights
 """
 
 from .config import CostConfig, NetworkConfig, SystemConfig
+from .distribution import ReplicaSet, ReplicationPolicy
 from .core import (
     Client,
     ClientTxRecord,
@@ -49,6 +50,8 @@ __all__ = [
     "NetworkConfig",
     "OpKind",
     "Operation",
+    "ReplicaSet",
+    "ReplicationPolicy",
     "RunResult",
     "SystemConfig",
     "Transaction",

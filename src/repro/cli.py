@@ -7,6 +7,7 @@ Usage::
     python -m repro figures --full          # paper-density sweeps
     python -m repro scenario                # the §2.4 worked example
     python -m repro protocols               # list registered protocols
+    python -m repro replication             # ROWA factor x read-ratio sweep
 """
 
 from __future__ import annotations
@@ -101,6 +102,33 @@ def _run_scenario(out=sys.stdout) -> int:
     return 0
 
 
+def _run_replication(full: bool, read_policy: str, out=sys.stdout) -> int:
+    from .experiments.replication import (
+        ReplicationSweepParams,
+        check_replication_sweep,
+        replication_sweep,
+    )
+
+    params = ReplicationSweepParams.dense() if full else ReplicationSweepParams.from_env()
+    if read_policy != params.read_policy:
+        from dataclasses import replace
+
+        params = replace(params, read_policy=read_policy)
+    result = replication_sweep(params)
+    print("== replication ==", file=out)
+    for metric, fmt in (("tx_per_s", "{:8.2f}"), ("response_ms", "{:8.2f}"),
+                        ("messages", "{:8.0f}")):
+        print(result.render(metric, fmt), file=out)
+        print(file=out)
+    try:
+        for note in check_replication_sweep(result):
+            print(f"  {note}", file=out)
+    except AssertionError as exc:
+        print(f"  SHAPE CHECK FAILED: {exc}", file=out)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -118,6 +146,15 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     sub.add_parser("scenario", help="run the paper's §2.4 worked scenario")
     sub.add_parser("protocols", help="list registered concurrency protocols")
 
+    p_rep = sub.add_parser(
+        "replication", help="sweep replication factor vs update ratio (ROWA)"
+    )
+    p_rep.add_argument("--full", action="store_true", help="denser sweep")
+    p_rep.add_argument(
+        "--read-policy", choices=("primary", "random", "nearest"),
+        default="nearest", help="replica chosen for each read",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "figures":
         return _run_figures(list(args.only), args.full, out)
@@ -127,6 +164,8 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         for name in available_protocols():
             print(name, file=out)
         return 0
+    if args.command == "replication":
+        return _run_replication(args.full, args.read_policy, out)
     return 2  # pragma: no cover
 
 

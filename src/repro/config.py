@@ -89,6 +89,20 @@ class SystemConfig:
     max_restarts:
         How many times a client resubmits an aborted transaction before
         giving up (Fig. 12 counts never-completed transactions).
+    replication_factor:
+        Copies per document/fragment created by allocation helpers and the
+        experiment runner (1 = disjoint placement, the paper's partial
+        regime).
+    replica_read_policy:
+        Where queries lock and execute: ``"all"`` replicas (the paper's
+        behaviour), the ``"primary"``, a ``"random"`` replica, or the
+        ``"nearest"`` one (the coordinator's own copy when it has one).
+    replica_write_policy:
+        ``"all"`` executes updates eagerly at every replica (the paper's
+        behaviour); ``"primary"`` locks and executes at the primary copy
+        only and synchronously propagates the committed updates to the
+        secondaries before the primary's locks are released (primary-copy
+        ROWA).
     """
 
     network: NetworkConfig = field(default_factory=NetworkConfig)
@@ -103,10 +117,17 @@ class SystemConfig:
     lock_wait_timeout_ms: float = 0.0
     seed: int = 0xD7C5
     max_restarts: int = 0
+    replication_factor: int = 1
+    replica_read_policy: str = "all"
+    replica_write_policy: str = "all"
 
     def validate(self) -> None:
         self.network.validate()
         self.costs.validate()
+        # Routing knobs are validated by the policy object they configure.
+        from .distribution.replication import ReplicationPolicy
+
+        ReplicationPolicy.from_config(self).validate()
         if self.detector_interval_ms <= 0:
             raise ConfigError("detector_interval_ms must be > 0")
         if self.detector_initial_delay_ms < 0:

@@ -21,6 +21,7 @@ from typing import Callable, Hashable, Optional, Sequence
 from ..config import DEFAULT_CONFIG, SystemConfig
 from ..distribution.allocation import Allocation
 from ..distribution.catalog import Catalog
+from ..distribution.replication import ReplicationPolicy
 from ..errors import ConfigError
 from ..protocols import ConcurrencyProtocol, make_protocol
 from ..sim.environment import Environment
@@ -49,6 +50,7 @@ class DTXCluster:
         self.env = env if env is not None else Environment()
         self.network = Network(self.env, self.config.network, seed=self.config.seed)
         self.catalog = Catalog()
+        self.replication = ReplicationPolicy.from_config(self.config)
         self.sites: dict[Hashable, DTXSite] = {}
         self.clients: list[Client] = []
         self.detector: Optional[DeadlockDetector] = None
@@ -72,6 +74,7 @@ class DTXCluster:
             backend=self._backend_factory(),
             catalog=self.catalog,
             config=self.config,
+            replication=self.replication,
         )
         self.sites[site_id] = site
         for doc in documents:
@@ -88,6 +91,17 @@ class DTXCluster:
                 self.catalog.add(doc.name, (*existing, site_id))
         else:
             self.catalog.add(doc.name, (site_id,))
+
+    def replicate_document(self, doc: Document, site_ids: Sequence[Hashable]) -> None:
+        """Place copies of ``doc`` at each of ``site_ids`` (first = primary).
+
+        The primary election holds even when the document already had a
+        placement (``host_document`` appends to it, so the pre-existing
+        site would otherwise stay first).
+        """
+        for site_id in site_ids:
+            self.host_document(site_id, doc)
+        self.catalog.set_primary(doc.name, site_ids[0])
 
     @classmethod
     def from_allocation(

@@ -79,8 +79,17 @@ class CoordinatorRecord:
     responses: dict = field(default_factory=dict)
     response_event: Optional[Any] = None
 
-    # ack collection for undo / commit / abort rounds
-    phase: str = ""  # '', 'undo', 'commit', 'abort'
+    # ack collection for undo / sync / commit / abort rounds
+    phase: str = ""  # '', 'undo', 'sync', 'commit', 'abort'
     ack_expected: set = field(default_factory=set)
     acks: dict = field(default_factory=dict)
     ack_event: Optional[Any] = None
+
+    # documents this transaction has updated (primary-copy ROWA pins
+    # subsequent reads of them to the primary: read-your-writes)
+    written_docs: set = field(default_factory=set)
+
+    # set once every secondary acknowledged the commit-time sync; past this
+    # point the updates are durable at the secondaries and the transaction
+    # can no longer be undone (it fails instead of aborting)
+    synced: bool = False

@@ -121,13 +121,46 @@ class AbortAck:
 
 
 @dataclass
-class FailNotice:
-    """Coordinator -> all involved sites: transaction failed (Alg. 6 l. 7)."""
+class ReplicaSyncRequest:
+    """Coordinator -> secondary replica: apply these committed updates.
+
+    Sent during commit under primary-copy ROWA, *before* the primary's
+    locks are released — the primary's lock table therefore orders the
+    sync streams of conflicting writers, and replicas cannot diverge.
+    ``ops`` preserves transaction order.
+    """
 
     tid: TxId
+    coordinator: Hashable
+    ops: list = field(default_factory=list)  # executed update Operations
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + sum(op.payload_size() for op in self.ops)
+
+
+@dataclass
+class ReplicaSyncAck:
+    tid: TxId
+    site: Hashable
 
     def size_bytes(self) -> int:
         return _HEADER_BYTES
+
+
+@dataclass
+class FailNotice:
+    """Coordinator -> all involved sites: transaction failed (Alg. 6 l. 7).
+
+    ``persist`` is set when the failure happened *after* the replica sync:
+    the receiving site must write its (kept) effects through to storage so
+    primary and secondaries stay durably identical.
+    """
+
+    tid: TxId
+    persist: bool = False
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 1
 
 
 @dataclass

@@ -26,6 +26,7 @@ from typing import Callable, Hashable, Optional
 
 from ..config import SystemConfig
 from ..deadlock.wfg import WaitForGraph
+from ..distribution.replication import ReplicationPolicy
 from ..errors import ReproError, UpdateError
 from ..locking.manager import LockManager
 from ..locking.table import LockTable
@@ -33,6 +34,7 @@ from ..protocols.base import ConcurrencyProtocol
 from ..sim.environment import Environment
 from ..sim.network import Network
 from ..sim.queues import Store
+from ..sim.rng import substream
 from ..storage.base import StorageBackend
 from ..storage.datamanager import DataManager
 from ..update.applier import apply_update
@@ -49,6 +51,8 @@ from .messages import (
     FailNotice,
     RemoteOpRequest,
     RemoteOpResult,
+    ReplicaSyncAck,
+    ReplicaSyncRequest,
     TxOutcome,
     UndoOpAck,
     UndoOpRequest,
@@ -84,6 +88,8 @@ class SiteStats:
     undo_ops: int = 0
     coordinated: int = 0
     peak_lock_count: int = 0
+    replica_syncs_served: int = 0  # ReplicaSyncRequests applied at this site
+    reads_routed: int = 0  # queries this coordinator routed to one replica
 
 
 class DTXSite:
@@ -96,6 +102,7 @@ class DTXSite:
         backend: StorageBackend,
         catalog,
         config: SystemConfig,
+        replication: Optional[ReplicationPolicy] = None,
     ):
         self.env = env
         self.network = network
@@ -104,6 +111,8 @@ class DTXSite:
         self.catalog = catalog
         self.config = config
         self.costs = config.costs
+        self.replication = replication or ReplicationPolicy.from_config(config)
+        self._route_rng = substream(config.seed, "route", str(site_id))
 
         self.inbox: Store = network.register(site_id)
         self.data_manager = DataManager(backend)
@@ -164,11 +173,13 @@ class DTXSite:
                 self._on_op_result(msg)
             elif isinstance(msg, UndoOpRequest):
                 self.env.process(self._handle_undo_request(msg))
+            elif isinstance(msg, ReplicaSyncRequest):
+                self.env.process(self._handle_replica_sync(msg))
             elif isinstance(msg, CommitRequest):
                 self.env.process(self._handle_commit_request(msg))
             elif isinstance(msg, AbortRequest):
                 self.env.process(self._handle_abort_request(msg))
-            elif isinstance(msg, (UndoOpAck, CommitAck, AbortAck)):
+            elif isinstance(msg, (UndoOpAck, ReplicaSyncAck, CommitAck, AbortAck)):
                 self._on_ack(msg)
             elif isinstance(msg, FailNotice):
                 self._handle_fail_notice(msg)
@@ -315,10 +326,15 @@ class DTXSite:
         self._notify_lock_release()
         return cost
 
-    def _fail_at_site(self, tid: TxId) -> None:
+    def _fail_at_site(self, tid: TxId, persist: bool = False) -> None:
         """Transaction failed: drop state without undoing (paper: the
-        application is alerted; recovery is future work)."""
-        self.tx_contexts.pop(tid, None)
+        application is alerted; recovery is future work). ``persist``
+        write-backs the kept effects first (post-sync failures must leave
+        primary and secondaries durably identical)."""
+        ctx = self.tx_contexts.pop(tid, None)
+        if persist and ctx is not None:
+            for name in ctx.touched_doc_names():
+                self.data_manager.persist(name)
         self.lock_manager.release_transaction(tid)
         self.finished.add(tid)
         self.waiters.pop(tid, None)
@@ -405,6 +421,41 @@ class DTXSite:
             UndoOpAck(tid=msg.tid, site=self.site_id, op_index=msg.op_index, attempt=msg.attempt),
         )
 
+    def _handle_replica_sync(self, msg: ReplicaSyncRequest):
+        """Apply a committed transaction's updates to this secondary replica.
+
+        No locks are taken and no undo is recorded: the data is already
+        committed at the primary, whose still-held locks order conflicting
+        sync streams. All operations are applied before any simulated time
+        passes, so a sync is atomic with respect to concurrent local reads.
+        """
+        cost = self.costs.scheduler_dispatch_ms
+        touched: list[str] = []
+        for op in msg.ops:
+            doc = self.data_manager.document(op.doc_name)
+            eval_stats = EvalStats()
+            try:
+                changes = apply_update(op.payload, doc, None, eval_stats)
+            except UpdateError as exc:  # pragma: no cover - replica divergence
+                raise ReproError(
+                    f"site {self.site_id}: replica sync of {msg.tid} failed "
+                    f"on {op.doc_name!r}: {exc}"
+                ) from exc
+            self.protocol.after_apply(op.doc_name, changes)
+            cost += (
+                eval_stats.nodes_visited * self.costs.node_visit_ms
+                + max(1, len(changes)) * self.costs.update_apply_ms
+            )
+            if op.doc_name not in touched:
+                touched.append(op.doc_name)
+        persisted = sum(self.data_manager.persist(name) for name in touched)
+        cost += (persisted / 1024.0) * self.costs.persist_per_kb_ms
+        self.stats.replica_syncs_served += 1
+        yield self.env.timeout(cost)
+        self.network.send(
+            self.site_id, msg.coordinator, ReplicaSyncAck(tid=msg.tid, site=self.site_id)
+        )
+
     def _handle_commit_request(self, msg: CommitRequest):
         if "*" in self.refuse_commit or msg.tid in self.refuse_commit:
             yield self.env.timeout(0)
@@ -432,7 +483,7 @@ class DTXSite:
         )
 
     def _handle_fail_notice(self, msg: FailNotice) -> None:
-        self._fail_at_site(msg.tid)
+        self._fail_at_site(msg.tid, persist=msg.persist)
 
     # ------------------------------------------------------------------
     # coordinator response/ack plumbing
@@ -456,6 +507,7 @@ class DTXSite:
             return
         expected_phase = {
             UndoOpAck: "undo",
+            ReplicaSyncAck: "sync",
             CommitAck: "commit",
             AbortAck: "abort",
         }[type(msg)]
@@ -531,13 +583,24 @@ class DTXSite:
         while True:
             if rec.abort_requested:
                 raise _AbortTx(rec.abort_reason or "abort-ordered")
-            sites = list(self.catalog.sites_for(op.doc_name))
+            rset = self.catalog.replica_set(op.doc_name)
+            if op.kind is OpKind.QUERY:
+                sites = self.replication.route_read(
+                    rset,
+                    origin=self.site_id,
+                    rng=self._route_rng,
+                    wrote_before=op.doc_name in rec.written_docs,
+                )
+            else:
+                sites = self.replication.route_write(rset)
             tx.sites_involved.update(sites)
             yield self.env.timeout(self.costs.scheduler_dispatch_ms)
 
-            # Ship the operation to every site holding the document (the
-            # coordinator's own copy is served through the same participant
-            # path, which keeps replicas byte-identical).
+            # Ship the operation to every routed site (all replicas under
+            # the paper's regime; one read replica / the primary under
+            # primary-copy ROWA). The coordinator's own copy is served
+            # through the same participant path, which keeps replicas
+            # byte-identical.
             rec.attempt += 1
             rec.expected = set(sites)
             rec.responses = {}
@@ -558,6 +621,10 @@ class DTXSite:
 
             if acquired_all and not any_failed:
                 op.executed = True
+                if op.kind is OpKind.UPDATE:
+                    rec.written_docs.add(op.doc_name)
+                elif len(sites) < rset.degree:
+                    self.stats.reads_routed += 1  # once per routed query
                 return
 
             # Back out sites where the operation did execute (Alg. 1 l. 16).
@@ -603,8 +670,39 @@ class DTXSite:
         if timeout_ev is not None and timeout_ev in fired and not rec.abort_requested:
             raise _AbortTx("lock-wait-timeout")
 
+    def _sync_replicas(self, rec: CoordinatorRecord):
+        """Primary-copy ROWA: push executed updates to every secondary.
+
+        Runs at the top of the commit procedure, while the primary's locks
+        are still held — conflicting writers therefore sync in lock-grant
+        order and secondaries apply transactions in commit order. The
+        commit (and with it the client's outcome and the lock release)
+        proceeds only after every secondary acknowledged.
+        """
+        per_site: dict = {}
+        for op in rec.tx.operations:
+            if op.kind is OpKind.UPDATE and op.executed:
+                for site in self.replication.sync_targets(
+                    self.catalog.replica_set(op.doc_name)
+                ):
+                    per_site.setdefault(site, []).append(op)
+        if not per_site:
+            return
+        self._collect_acks(rec, "sync", list(per_site))
+        for site, ops in per_site.items():
+            self.network.send(
+                self.site_id,
+                site,
+                ReplicaSyncRequest(tid=rec.tid, coordinator=self.site_id, ops=list(ops)),
+            )
+        yield rec.ack_event
+        rec.phase = ""
+        rec.synced = True
+
     def _commit_transaction(self, rec: CoordinatorRecord):
         """Algorithm 5. Returns True on commit, False to fall into abort."""
+        if self.replication.is_primary_copy:
+            yield from self._sync_replicas(rec)
         others = [s for s in rec.tx.sites_involved if s != self.site_id]
         if others:
             self._collect_acks(rec, "commit", others)
@@ -625,6 +723,21 @@ class DTXSite:
         """Algorithm 6. Returns True when the abort executed everywhere;
         False means the transaction *failed* (fail notices were sent)."""
         others = [s for s in rec.tx.sites_involved if s != self.site_id]
+        if rec.synced:
+            # The commit-time sync already applied the updates durably at
+            # every secondary, and there is no replica-wide undo: undoing at
+            # the primary alone would diverge the replicas. Keep the effects
+            # everywhere and fail the transaction instead (the paper's fail
+            # semantics: state is kept, the application is alerted). Every
+            # involved site persists its kept effects so the primary — which
+            # may be a remote participant — stays durably identical to the
+            # secondaries that persisted during the sync.
+            for site in others:
+                self.network.send(
+                    self.site_id, site, FailNotice(tid=rec.tid, persist=True)
+                )
+            self._fail_at_site(rec.tid, persist=True)
+            return False
         if others:
             self._collect_acks(rec, "abort", others)
             for site in others:

@@ -1,6 +1,12 @@
-"""Data distribution: fragmentation, allocation, placement catalog."""
+"""Data distribution: fragmentation, allocation, placement catalog, replication."""
 
-from .allocation import Allocation, allocate_explicit, allocate_partial, allocate_total
+from .allocation import (
+    Allocation,
+    allocate_explicit,
+    allocate_partial,
+    allocate_replicated,
+    allocate_total,
+)
 from .catalog import Catalog
 from .fragmentation import (
     Fragment,
@@ -9,16 +15,29 @@ from .fragmentation import (
     fragment_name,
     is_fragment_of,
 )
+from .replication import (
+    READ_POLICIES,
+    WRITE_POLICIES,
+    ReplicaSet,
+    ReplicationPolicy,
+    replica_placement,
+)
 
 __all__ = [
     "Allocation",
     "Catalog",
     "Fragment",
     "FragmentationPlan",
+    "READ_POLICIES",
+    "ReplicaSet",
+    "ReplicationPolicy",
+    "WRITE_POLICIES",
     "allocate_explicit",
     "allocate_partial",
+    "allocate_replicated",
     "allocate_total",
     "fragment_document",
     "fragment_name",
     "is_fragment_of",
+    "replica_placement",
 ]

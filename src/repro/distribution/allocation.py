@@ -18,6 +18,7 @@ from ..errors import DistributionError
 from ..xml.model import Document
 from .catalog import Catalog
 from .fragmentation import FragmentationPlan, fragment_document
+from .replication import replica_placement
 
 
 @dataclass
@@ -46,6 +47,29 @@ def allocate_total(documents: Sequence[Document], site_ids: Sequence[Hashable]) 
     for doc in documents:
         catalog.add(doc.name, site_ids)
         for site in site_ids:
+            alloc.site_documents[site].append(doc.clone())
+    return alloc
+
+
+def allocate_replicated(
+    documents: Sequence[Document],
+    site_ids: Sequence[Hashable],
+    factor: int,
+) -> Allocation:
+    """Whole-document replication at ``factor`` sites each.
+
+    Primaries rotate round-robin so no single site coordinates every
+    document; each document's ``factor - 1`` secondaries sit on the
+    following sites. ``factor == len(site_ids)`` is total replication.
+    """
+    if not site_ids:
+        raise DistributionError("need at least one site")
+    catalog = Catalog()
+    alloc = Allocation(catalog, {s: [] for s in site_ids})
+    for i, doc in enumerate(documents):
+        placement = replica_placement(i, site_ids, factor)
+        catalog.add(doc.name, placement)
+        for site in placement:
             alloc.site_documents[site].append(doc.clone())
     return alloc
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Hashable, Iterable
 
 from ..errors import DistributionError
+from .replication import ReplicaSet
 
 
 class Catalog:
@@ -50,6 +51,23 @@ class Catalog:
     def primary_site(self, doc_name: str) -> Hashable:
         """First site in the placement (deterministic coordinator choice)."""
         return self.sites_for(doc_name)[0]
+
+    def replica_set(self, doc_name: str) -> ReplicaSet:
+        """The placement as a :class:`ReplicaSet` (primary = first site)."""
+        sites = self.sites_for(doc_name)
+        return ReplicaSet(doc_name=doc_name, primary=sites[0], secondaries=sites[1:])
+
+    def set_primary(self, doc_name: str, site_id: Hashable) -> None:
+        """Promote ``site_id`` to primary by reordering the placement."""
+        sites = self.sites_for(doc_name)
+        if site_id not in sites:
+            raise DistributionError(
+                f"site {site_id!r} holds no replica of {doc_name!r}"
+            )
+        self._placement[doc_name] = (
+            site_id,
+            *[s for s in sites if s != site_id],
+        )
 
     def replication_degree(self, doc_name: str) -> int:
         return len(self.sites_for(doc_name))

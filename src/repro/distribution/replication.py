@@ -1,0 +1,186 @@
+"""Replica sets and routing policy: primary-copy read-one-write-all.
+
+The paper's DTX ships *every* operation to *every* site holding the target
+document (Alg. 1) — reads included — which is why total replication pays a
+synchronization cost even for read-only workloads (Fig. 9). That regime is
+kept as the default (``read_policy="all"``, ``write_policy="all"``).
+
+This module adds the primary-copy ROWA regime used to scale read-heavy
+workloads (cf. Abiteboul et al., "Distributed XML Design"; the ViP2P
+materialized-view platform):
+
+* each document/fragment has one **primary** replica (the first site in its
+  catalog placement) and any number of **secondaries**;
+* **reads** lock and execute at a *single* replica, chosen by
+  ``read_policy`` (``primary`` | ``random`` | ``nearest``);
+* **writes** lock and execute at the primary only; at commit time the
+  update operations are propagated synchronously to every secondary over
+  the network *before* the primary's locks are released, so replicas never
+  diverge and writers on the same document serialize through the primary's
+  lock table.
+
+Within a transaction, a read on a document the transaction has already
+written is pinned to the primary (read-your-writes — secondaries only see
+the update after commit).
+
+Isolation guarantee: write effects are one-copy serializable (the primary's
+lock table orders all writers, and sync streams apply at secondaries in
+commit order — `repro.verify.serial` validates this per replica). Reads at
+*secondaries* see committed data only, but a sync may apply between two
+reads of the same transaction: replica reads are READ COMMITTED, not
+repeatable. Route reads to the primary (``read_policy="primary"``) when a
+workload needs fully serializable reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from ..errors import ConfigError, DistributionError
+
+READ_POLICIES = ("all", "primary", "random", "nearest")
+WRITE_POLICIES = ("all", "primary")
+
+
+@dataclass(frozen=True)
+class ReplicaSet:
+    """The placement of one document: a primary plus ordered secondaries."""
+
+    doc_name: str
+    primary: Hashable
+    secondaries: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.primary in self.secondaries:
+            raise DistributionError(
+                f"primary of {self.doc_name!r} repeated among its secondaries"
+            )
+
+    @property
+    def all_sites(self) -> tuple:
+        return (self.primary, *self.secondaries)
+
+    @property
+    def degree(self) -> int:
+        return 1 + len(self.secondaries)
+
+    @property
+    def is_replicated(self) -> bool:
+        return bool(self.secondaries)
+
+    def __contains__(self, site_id: Hashable) -> bool:
+        return site_id == self.primary or site_id in self.secondaries
+
+    def __str__(self) -> str:
+        sites = ", ".join(str(s) for s in self.secondaries)
+        return f"{self.doc_name}@{self.primary}" + (f"+[{sites}]" if sites else "")
+
+
+@dataclass(frozen=True)
+class ReplicationPolicy:
+    """How operations are routed across a document's replicas.
+
+    ``factor`` is the *placement* knob (how many copies allocation helpers
+    create); ``read_policy``/``write_policy`` are the *routing* knobs. The
+    defaults reproduce the paper's behaviour exactly: every operation runs
+    at every replica.
+    """
+
+    factor: int = 1
+    read_policy: str = "all"
+    write_policy: str = "all"
+
+    def validate(self) -> None:
+        if self.factor < 1:
+            raise ConfigError(f"replication factor must be >= 1, got {self.factor}")
+        if self.read_policy not in READ_POLICIES:
+            raise ConfigError(
+                f"read_policy must be one of {READ_POLICIES}, got {self.read_policy!r}"
+            )
+        if self.write_policy not in WRITE_POLICIES:
+            raise ConfigError(
+                f"write_policy must be one of {WRITE_POLICIES}, got {self.write_policy!r}"
+            )
+
+    @classmethod
+    def from_config(cls, config) -> "ReplicationPolicy":
+        """Build from a :class:`repro.config.SystemConfig`."""
+        policy = cls(
+            factor=config.replication_factor,
+            read_policy=config.replica_read_policy,
+            write_policy=config.replica_write_policy,
+        )
+        policy.validate()
+        return policy
+
+    # -- routing -----------------------------------------------------------
+
+    def route_read(
+        self,
+        rset: ReplicaSet,
+        origin: Hashable,
+        rng=None,
+        wrote_before: bool = False,
+    ) -> list:
+        """Sites that must lock and execute a query on ``rset.doc_name``.
+
+        ``origin`` is the coordinator's site (the "nearest" candidate);
+        ``wrote_before`` pins the read to the primary when the transaction
+        already updated the document under primary-copy writes.
+        """
+        # The read-your-writes pin outranks every read policy: under
+        # primary-copy writes only the primary has the update before commit.
+        if wrote_before and self.write_policy == "primary":
+            return [rset.primary]
+        if self.read_policy == "all":
+            return list(rset.all_sites)
+        if self.read_policy == "primary":
+            return [rset.primary]
+        if self.read_policy == "random":
+            if rng is None:
+                return [rset.primary]
+            return [rng.choice(rset.all_sites)]
+        # "nearest": the coordinator's own replica when it has one (zero
+        # network hops in the simulated LAN), otherwise the primary.
+        if origin in rset:
+            return [origin]
+        return [rset.primary]
+
+    def route_write(self, rset: ReplicaSet) -> list:
+        """Sites that must lock and execute an update on ``rset.doc_name``."""
+        if self.write_policy == "all":
+            return list(rset.all_sites)
+        return [rset.primary]
+
+    def sync_targets(self, rset: ReplicaSet) -> list:
+        """Secondaries needing commit-time propagation of executed updates."""
+        if self.write_policy == "all":
+            return []  # eager writes already ran everywhere
+        return list(rset.secondaries)
+
+    @property
+    def is_primary_copy(self) -> bool:
+        return self.write_policy == "primary"
+
+    def describe(self) -> str:
+        return (
+            f"factor={self.factor} read={self.read_policy} write={self.write_policy}"
+        )
+
+
+def replica_placement(
+    index: int, site_ids, factor: int, primary: Optional[Hashable] = None
+) -> list:
+    """Round-robin placement of the ``index``-th item on ``factor``
+    consecutive sites; the first listed site is the primary."""
+    if not site_ids:
+        raise DistributionError("need at least one site")
+    if factor < 1 or factor > len(site_ids):
+        raise DistributionError(
+            f"replication factor must be in [1, {len(site_ids)}], got {factor}"
+        )
+    home = (
+        list(site_ids).index(primary) if primary is not None else index % len(site_ids)
+    )
+    return [site_ids[(home + r) % len(site_ids)] for r in range(factor)]

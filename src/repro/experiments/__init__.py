@@ -13,6 +13,12 @@ from .figures import (
     fig11b,
     fig12,
 )
+from .replication import (
+    ReplicationSweepParams,
+    ReplicationSweepResult,
+    check_replication_sweep,
+    replication_sweep,
+)
 from .report import check_fig9, check_fig10, check_fig11a, check_fig11b, check_fig12
 from .runner import ExperimentConfig, build_cluster, run_experiment
 
@@ -22,8 +28,11 @@ __all__ = [
     "Fig12Result",
     "Fig8Result",
     "FigureParams",
+    "ReplicationSweepParams",
+    "ReplicationSweepResult",
     "SCALE",
     "build_cluster",
+    "check_replication_sweep",
     "check_fig10",
     "check_fig11a",
     "check_fig11b",
@@ -35,5 +44,6 @@ __all__ = [
     "fig12",
     "fig8",
     "fig9",
+    "replication_sweep",
     "run_experiment",
 ]

@@ -1,0 +1,133 @@
+"""Replication sweep: read throughput vs replication factor.
+
+Not a figure of the paper — this is the scenario the paper's total/partial
+dichotomy cannot express: fragments placed at ``factor`` sites each under
+primary-copy read-one-write-all routing. Read-heavy workloads scale with
+the factor (each replica serves a share of the reads); write-heavy
+workloads pay for it (every commit synchronizes ``factor - 1``
+secondaries).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..config import SystemConfig
+from ..workload.generator import WorkloadSpec
+from .runner import ExperimentConfig, run_experiment
+
+
+@dataclass(frozen=True)
+class ReplicationSweepParams:
+    factors: tuple[int, ...] = (1, 2, 4)
+    update_ratios: tuple[float, ...] = (0.0, 0.2, 0.5)
+    n_sites: int = 4
+    n_clients: int = 12
+    tx_per_client: int = 4
+    ops_per_tx: int = 4
+    protocol: str = "xdgl"
+    read_policy: str = "nearest"
+    db_bytes: int = 24_000
+
+    @classmethod
+    def dense(cls) -> "ReplicationSweepParams":
+        return cls(
+            factors=(1, 2, 3, 4),
+            update_ratios=(0.0, 0.1, 0.2, 0.4, 0.6),
+            n_clients=20,
+            tx_per_client=5,
+            ops_per_tx=5,
+        )
+
+    @classmethod
+    def from_env(cls) -> "ReplicationSweepParams":
+        """``REPRO_FULL=1`` selects the denser sweep."""
+        return cls.dense() if os.environ.get("REPRO_FULL") == "1" else cls()
+
+
+@dataclass
+class ReplicationSweepResult:
+    params: ReplicationSweepParams = field(default_factory=ReplicationSweepParams)
+    # (factor, update_ratio) -> dict of metrics
+    cells: dict = field(default_factory=dict)
+
+    def metric(self, factor: int, update_ratio: float, name: str):
+        return self.cells[(factor, update_ratio)][name]
+
+    def render(self, metric: str = "tx_per_s", fmt: str = "{:8.2f}") -> str:
+        header = f"replication sweep — {metric} (read policy: {self.params.read_policy})"
+        lines = [header, "factor \\ update%  " + "  ".join(
+            f"{int(u * 100):>8d}" for u in self.params.update_ratios
+        )]
+        for factor in self.params.factors:
+            row = [f"{factor:>6d}          "]
+            for u in self.params.update_ratios:
+                row.append(fmt.format(self.cells[(factor, u)][metric]))
+            lines.append("  ".join(row))
+        return "\n".join(lines)
+
+
+def replication_sweep(
+    params: ReplicationSweepParams | None = None,
+) -> ReplicationSweepResult:
+    """Run the factor x update-ratio grid; one cell per configuration."""
+    params = params or ReplicationSweepParams.from_env()
+    out = ReplicationSweepResult(params=params)
+    for factor in params.factors:
+        system = SystemConfig().with_(
+            client_think_ms=1.0,
+            replication_factor=factor,
+            replica_read_policy=params.read_policy,
+            replica_write_policy="primary" if factor > 1 else "all",
+        )
+        for update_ratio in params.update_ratios:
+            cfg = ExperimentConfig(
+                protocol=params.protocol,
+                n_sites=params.n_sites,
+                replication="partial",
+                db_bytes=params.db_bytes,
+                workload=WorkloadSpec(
+                    n_clients=params.n_clients,
+                    tx_per_client=params.tx_per_client,
+                    ops_per_tx=params.ops_per_tx,
+                    update_tx_ratio=update_ratio,
+                ),
+                system=system,
+                label=f"replication/f{factor}/u{update_ratio}",
+            )
+            result = run_experiment(cfg)
+            duration_s = max(result.duration_ms, 1e-9) / 1000.0
+            out.cells[(factor, update_ratio)] = {
+                "response_ms": result.mean_response_ms(),
+                "committed": len(result.committed),
+                "aborted": len(result.aborted),
+                "tx_per_s": len(result.committed) / duration_s,
+                "messages": result.network_messages,
+                "bytes": result.network_bytes,
+                "deadlocks": result.total_deadlocks,
+            }
+    return out
+
+
+def check_replication_sweep(result: ReplicationSweepResult) -> list[str]:
+    """Shape checks: replication must help pure reads, not corrupt anything."""
+    notes: list[str] = []
+    params = result.params
+    lo, hi = min(params.factors), max(params.factors)
+    if 0.0 in params.update_ratios and lo == 1 and hi > 1:
+        base = result.metric(lo, 0.0, "response_ms")
+        repl = result.metric(hi, 0.0, "response_ms")
+        assert repl <= base * 1.05, (
+            f"read-only response time worsened under replication: "
+            f"factor {lo} -> {base:.2f} ms, factor {hi} -> {repl:.2f} ms"
+        )
+        notes.append(
+            f"read-only mean response: {base:.2f} ms (factor {lo}) -> "
+            f"{repl:.2f} ms (factor {hi})"
+        )
+    for key, cell in result.cells.items():
+        expected = params.n_clients * params.tx_per_client
+        assert cell["committed"] + cell["aborted"] <= expected
+    notes.append(f"{len(result.cells)} cells, all transaction counts consistent")
+    return notes

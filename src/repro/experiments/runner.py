@@ -18,6 +18,7 @@ from typing import Optional
 from ..config import SystemConfig
 from ..core.cluster import DTXCluster
 from ..core.results import RunResult
+from ..distribution.replication import replica_placement
 from ..errors import ConfigError
 from ..workload.generator import DTXTester, WorkloadSpec
 from ..workload.xmark import generate_xmark, xmark_fragments
@@ -38,6 +39,11 @@ class ExperimentConfig:
             raise ConfigError("n_sites must be >= 1")
         if self.replication not in ("partial", "total"):
             raise ConfigError(f"unknown replication regime {self.replication!r}")
+        if self.system.replication_factor > self.n_sites:
+            raise ConfigError(
+                f"replication_factor {self.system.replication_factor} exceeds "
+                f"n_sites {self.n_sites}"
+            )
         self.workload.validate()
         self.system.validate()
 
@@ -59,8 +65,12 @@ def build_cluster(cfg: ExperimentConfig) -> tuple[DTXCluster, DTXTester]:
     else:
         fragments = xmark_fragments(base_doc, cfg.n_sites)
         documents = fragments
+        # replication_factor > 1 places each fragment on that many
+        # consecutive sites (primary first), opening the replicated
+        # read-one-write-all axis for every figure sweep.
         for i, frag in enumerate(fragments):
-            cluster.host_document(site_ids[i], frag)
+            for site in replica_placement(i, site_ids, cfg.system.replication_factor):
+                cluster.host_document(site, frag)
 
     tester = DTXTester(cfg.workload, documents)
     placement = tester.assign_clients_to_sites(site_ids)

@@ -1,0 +1,6 @@
+"""Test package marker.
+
+Makes ``tests`` a proper package so modules can do
+``from .conftest import make_people_doc`` (the shared document factories)
+under pytest's default import mode.
+"""

@@ -3,6 +3,7 @@
 import hypothesis.strategies as st
 from hypothesis import HealthCheck, given, settings
 
+from repro import DTXCluster, SystemConfig, TxState, available_protocols
 from repro.dataguide import DataGuide
 from repro.deadlock import WaitForGraph
 from repro.distribution import fragment_document
@@ -15,7 +16,11 @@ from repro.update import (
     UndoLog,
     apply_update,
 )
+from repro.verify import final_state_serializable
+from repro.workload import DTXTester, WorkloadSpec
 from repro.xml import Document, E, Element, doc, parse_document, serialize_document
+
+from .conftest import make_people_doc, make_products_doc
 
 # ---------------------------------------------------------------------------
 # strategies
@@ -241,6 +246,82 @@ def flat_documents(draw):
             child.append(E("pad", text="x" * draw(st.integers(1, 30))))
         root.append(child)
     return Document("fr", root)
+
+
+class TestReplicatedSerializability:
+    """Random workloads under replication_factor > 1 stay serializable.
+
+    For every registered protocol: a 3-site cluster replicates both paper
+    documents at two sites each (primary-copy ROWA routing), runs a seeded
+    random DTXTester workload, and the committed history must match some
+    serial order at *every* replica — plus all replicas of a document must
+    be byte-identical.
+    """
+
+    ROWA = SystemConfig().with_(
+        client_think_ms=0.0,
+        detector_interval_ms=25.0,
+        detector_initial_delay_ms=5.0,
+        replication_factor=2,
+        replica_read_policy="nearest",
+        replica_write_policy="primary",
+    )
+
+    @given(
+        protocol=st.sampled_from(sorted(available_protocols())),
+        seed=st.integers(0, 2**16),
+        update_ratio=st.sampled_from([0.3, 0.6, 1.0]),
+    )
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_random_replicated_history_is_serializable(
+        self, protocol, seed, update_ratio
+    ):
+        initial = {"d1": make_people_doc(), "d2": make_products_doc()}
+        cluster = DTXCluster(protocol=protocol, config=self.ROWA)
+        for s in ("s1", "s2", "s3"):
+            cluster.add_site(s)
+        cluster.replicate_document(initial["d1"], ["s1", "s2"])
+        cluster.replicate_document(initial["d2"], ["s2", "s3"])
+
+        spec = WorkloadSpec(
+            n_clients=3,
+            tx_per_client=2,
+            ops_per_tx=2,
+            update_tx_ratio=update_ratio,
+            update_op_ratio=0.7,
+            seed=seed,
+        )
+        tester = DTXTester(spec, list(initial.values()))
+        all_txs = []
+        for c, site in tester.assign_clients_to_sites(["s1", "s2", "s3"]).items():
+            txs = tester.transactions_for_client(c)
+            all_txs.extend(txs)
+            cluster.add_client(f"c{c}", site, txs)
+        cluster.run()
+
+        committed = [t for t in all_txs if t.state is TxState.COMMITTED]
+        for sid in ("s1", "s2", "s3"):
+            site = cluster.site(sid)
+            observed = {
+                name: serialize_document(site.data_manager.document(name))
+                for name in site.data_manager.live_documents()
+            }
+            site_initial = {n: d for n, d in initial.items() if n in observed}
+            assert final_state_serializable(site_initial, committed, observed), (
+                f"{protocol} seed={seed}: state at {sid} matches no serial order"
+            )
+        assert serialize_document(cluster.document_at("s1", "d1")) == serialize_document(
+            cluster.document_at("s2", "d1")
+        )
+        assert serialize_document(cluster.document_at("s2", "d2")) == serialize_document(
+            cluster.document_at("s3", "d2")
+        )
+        for sid in ("s1", "s2", "s3"):
+            assert cluster.site(sid).lock_manager.table.is_empty()
 
 
 class TestFragmentationProperties:
