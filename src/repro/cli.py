@@ -8,6 +8,7 @@ Usage::
     python -m repro scenario                # the §2.4 worked example
     python -m repro protocols               # list registered protocols
     python -m repro replication             # ROWA factor x read-ratio sweep
+    python -m repro availability            # eager vs lazy under crashes
 """
 
 from __future__ import annotations
@@ -129,6 +130,39 @@ def _run_replication(full: bool, read_policy: str, out=sys.stdout) -> int:
     return 0
 
 
+def _run_availability(full: bool, crashes: list[int] | None, out=sys.stdout) -> int:
+    from .experiments.availability import (
+        AvailabilitySweepParams,
+        availability_sweep,
+        check_availability_sweep,
+    )
+
+    params = AvailabilitySweepParams.dense() if full else AvailabilitySweepParams.from_env()
+    if crashes is not None:
+        from dataclasses import replace
+
+        params = replace(params, crash_counts=tuple(crashes))
+    result = availability_sweep(params)
+    print("== availability ==", file=out)
+    for metric, fmt in (
+        ("tx_per_s", "{:9.2f}"),
+        ("committed", "{:9.0f}"),
+        ("aborted", "{:9.0f}"),
+        ("failed", "{:9.0f}"),
+        ("promotions", "{:9.0f}"),
+        ("divergent_replicas", "{:9.0f}"),
+    ):
+        print(result.render(metric, fmt), file=out)
+        print(file=out)
+    try:
+        for note in check_availability_sweep(result):
+            print(f"  {note}", file=out)
+    except AssertionError as exc:
+        print(f"  SHAPE CHECK FAILED: {exc}", file=out)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -155,6 +189,17 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         default="nearest", help="replica chosen for each read",
     )
 
+    p_avail = sub.add_parser(
+        "availability",
+        help="eager vs lazy replication under site crashes: throughput, "
+        "abort rate, failover and catch-up activity",
+    )
+    p_avail.add_argument("--full", action="store_true", help="denser sweep")
+    p_avail.add_argument(
+        "--crashes", nargs="+", type=int, default=None, metavar="N",
+        help="crash counts to sweep (default: 0 1 2)",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "figures":
         return _run_figures(list(args.only), args.full, out)
@@ -166,6 +211,8 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         return 0
     if args.command == "replication":
         return _run_replication(args.full, args.read_policy, out)
+    if args.command == "availability":
+        return _run_availability(args.full, args.crashes, out)
     return 2  # pragma: no cover
 
 

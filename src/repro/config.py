@@ -102,7 +102,17 @@ class SystemConfig:
         behaviour); ``"primary"`` locks and executes at the primary copy
         only and synchronously propagates the committed updates to the
         secondaries before the primary's locks are released (primary-copy
-        ROWA).
+        ROWA); ``"lazy"`` also locks at the primary only but commits
+        immediately and propagates asynchronously after
+        ``lazy_staleness_ms`` (bounded-staleness primary copy).
+    lazy_staleness_ms:
+        Upper bound on how long a committed update may sit in the primary's
+        log before asynchronous propagation to the secondaries starts
+        (``replica_write_policy="lazy"`` only).
+    catchup_timeout_ms:
+        How long a recovering or gap-detecting replica waits for the
+        primary's catch-up response before giving up and retrying on the
+        next trigger.
     """
 
     network: NetworkConfig = field(default_factory=NetworkConfig)
@@ -120,6 +130,8 @@ class SystemConfig:
     replication_factor: int = 1
     replica_read_policy: str = "all"
     replica_write_policy: str = "all"
+    lazy_staleness_ms: float = 5.0
+    catchup_timeout_ms: float = 50.0
 
     def validate(self) -> None:
         self.network.validate()
@@ -138,6 +150,10 @@ class SystemConfig:
             raise ConfigError("lock_wait_timeout_ms must be >= 0")
         if self.max_restarts < 0:
             raise ConfigError("max_restarts must be >= 0")
+        if self.lazy_staleness_ms < 0:
+            raise ConfigError("lazy_staleness_ms must be >= 0")
+        if self.catchup_timeout_ms <= 0:
+            raise ConfigError("catchup_timeout_ms must be > 0")
 
     def with_(self, **kwargs) -> "SystemConfig":
         """Return a copy with the given top-level fields replaced."""

@@ -4,6 +4,7 @@ distributed commit/abort, deadlock detection, clients and cluster assembly."""
 from .client import Client, ClientTxRecord
 from .cluster import DTXCluster
 from .detector import DeadlockDetector
+from .faults import FaultManager
 from .messages import TxOutcome
 from .results import RunResult
 from .site import DTXSite
@@ -15,6 +16,7 @@ __all__ = [
     "DTXCluster",
     "DTXSite",
     "DeadlockDetector",
+    "FaultManager",
     "OpKind",
     "Operation",
     "RunResult",

@@ -31,6 +31,7 @@ from ..storage.memory import InMemoryStore
 from ..xml.model import Document
 from .client import Client
 from .detector import DeadlockDetector
+from .faults import FaultManager
 from .results import RunResult
 from .site import DTXSite
 from .transaction import Transaction
@@ -54,6 +55,7 @@ class DTXCluster:
         self.sites: dict[Hashable, DTXSite] = {}
         self.clients: list[Client] = []
         self.detector: Optional[DeadlockDetector] = None
+        self.faults = FaultManager(self.env, self.network, self.catalog, self.sites)
         self._backend_factory = backend_factory or InMemoryStore
         self._started = False
 
@@ -76,6 +78,7 @@ class DTXCluster:
             config=self.config,
             replication=self.replication,
         )
+        site.faults = self.faults
         self.sites[site_id] = site
         for doc in documents:
             self.host_document(site_id, doc)
@@ -180,10 +183,46 @@ class DTXCluster:
         result.site_stats = {sid: site.stats for sid, site in self.sites.items()}
         result.network_messages = self.network.stats.messages
         result.network_bytes = self.network.stats.bytes
+        result.site_crashes = self.faults.stats.crashes
+        result.site_recoveries = self.faults.stats.recoveries
+        result.promotions = self.faults.stats.promotions
         if self.detector is not None:
             result.detector_sweeps = self.detector.stats.sweeps
             result.distributed_deadlocks = self.detector.stats.deadlocks_found
         return result
+
+    # -- fault injection ---------------------------------------------------
+
+    def crash_site(self, site_id: Hashable) -> None:
+        """Fail-stop ``site_id`` now: volatile state is lost, the failure
+        monitor promotes new primaries for the documents it led and
+        notifies the survivors."""
+        self.sites[site_id].crash()
+
+    def recover_site(self, site_id: Hashable) -> None:
+        """Restart ``site_id``: it reloads its persisted state, rejoins the
+        network (as a secondary where it was deposed) and catches up from
+        the current primaries' update logs."""
+        self.sites[site_id].recover()
+
+    def schedule_crash(
+        self,
+        site_id: Hashable,
+        at_ms: float,
+        recover_at_ms: Optional[float] = None,
+    ) -> None:
+        """Crash ``site_id`` at simulated time ``at_ms`` (and recover it at
+        ``recover_at_ms``). Driven through the simulation kernel, so the
+        fault fires even if no process at the site is runnable."""
+        if at_ms < self.env.now:
+            raise ConfigError(f"cannot schedule a crash in the past ({at_ms})")
+        if recover_at_ms is not None and recover_at_ms <= at_ms:
+            raise ConfigError("recover_at_ms must be after at_ms")
+        self.env.schedule_call(at_ms - self.env.now, self.crash_site, site_id)
+        if recover_at_ms is not None:
+            self.env.schedule_call(
+                recover_at_ms - self.env.now, self.recover_site, site_id
+            )
 
     # -- inspection ----------------------------------------------------------------
 

@@ -20,7 +20,7 @@ from typing import Any, Callable, Hashable, Optional
 
 from ..update.operations import AppliedChange
 from ..update.undo import UndoLog
-from .transaction import Transaction, TxId
+from .transaction import Operation, OpKind, Transaction, TxId
 
 
 @dataclass
@@ -32,6 +32,7 @@ class OpEntry:
     changes: list[AppliedChange] = field(default_factory=list)
     lock_pairs: list = field(default_factory=list)  # (key, mode) newly granted
     executed: bool = False
+    op: Optional[Operation] = None  # the operation itself (update logging)
 
 
 @dataclass
@@ -40,6 +41,15 @@ class SiteTxContext:
     coordinator: Hashable
     undo: UndoLog = field(default_factory=UndoLog)
     op_entries: dict[int, OpEntry] = field(default_factory=dict)
+    # Set when this site learned the transaction's updates were replicated
+    # to the secondaries (it received the log-entry record): if the
+    # coordinator then dies, the orphan resolves to commit, never to an
+    # undo that would diverge from the already-synced secondaries.
+    synced: bool = False
+    # Documents whose updates were already folded into this site's stable
+    # (committed-state) copy during the replica sync — the commit must not
+    # fold them twice.
+    stable_applied: set = field(default_factory=set)
 
     def touched_doc_names(self) -> list[str]:
         """Documents with data effects at this site (need persisting/undo)."""
@@ -50,6 +60,15 @@ class SiteTxContext:
                 out.append(entry.doc_name)
         return out
 
+    def executed_updates_by_doc(self) -> dict[str, list[Operation]]:
+        """Executed update operations at this site, per document, in order."""
+        out: dict[str, list[Operation]] = {}
+        for idx in sorted(self.op_entries):
+            entry = self.op_entries[idx]
+            if entry.executed and entry.op is not None and entry.op.kind is OpKind.UPDATE:
+                out.setdefault(entry.doc_name, []).append(entry.op)
+        return out
+
 
 class _AbortTx(Exception):
     """Internal control flow: unwind Algorithm 1 into the abort procedure."""
@@ -57,6 +76,14 @@ class _AbortTx(Exception):
     def __init__(self, reason: str):
         super().__init__(reason)
         self.reason = reason
+
+
+class _SiteCrashed(Exception):
+    """Internal control flow: the site died under a running coordinator.
+
+    The crash already delivered the client outcome and wiped the volatile
+    state; the coordinator generator must stop without touching anything.
+    """
 
 
 @dataclass
@@ -89,7 +116,38 @@ class CoordinatorRecord:
     # subsequent reads of them to the primary: read-your-writes)
     written_docs: set = field(default_factory=set)
 
-    # set once every secondary acknowledged the commit-time sync; past this
-    # point the updates are durable at the secondaries and the transaction
+    # doc -> sites where its updates executed; at commit the sync layer
+    # verifies the executing site still is the live primary (a promotion in
+    # between means the uncommitted effects died with the old primary)
+    write_sites: dict = field(default_factory=dict)
+
+    # set once a secondary durably applied the commit-time sync; past this
+    # point the updates are durable beyond the primary and the transaction
     # can no longer be undone (it fails instead of aborting)
     synced: bool = False
+
+    # set when the commit round partially applied — some participant
+    # committed (or crashed mid-round, ambiguously) while another refused
+    # or died. A clean abort would lie to the client; the transaction
+    # degrades to fail-with-state-kept instead.
+    partial_commit: bool = False
+
+    # sites where an operation of this transaction completed (locks held /
+    # data effects present): a crash of any of them voids the transaction
+    executed_sites: set = field(default_factory=set)
+
+    # sites dropped from the current ack round because they crashed
+    down_acks: set = field(default_factory=set)
+
+    def drop_site_from_acks(self, down) -> bool:
+        """Remove a crashed site's outstanding ack keys; True if any were."""
+        stale = {
+            key
+            for key in self.ack_expected
+            if key not in self.acks
+            and (key == down or (isinstance(key, tuple) and key[0] == down))
+        }
+        if stale:
+            self.ack_expected -= stale
+            self.down_acks.add(down)
+        return bool(stale)

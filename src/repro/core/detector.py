@@ -48,24 +48,44 @@ class DeadlockDetector:
         if not self._pending and not self._collect_event.triggered:
             self._collect_event.succeed(None)
 
+    def on_site_down(self, site_id) -> None:
+        """A polled site crashed: stop waiting for its graph this sweep."""
+        if self._collect_event is None or site_id not in self._pending:
+            return
+        self._pending.discard(site_id)
+        if not self._pending and not self._collect_event.triggered:
+            self._collect_event.succeed(None)
+
     def _run(self):
         yield self.env.timeout(self.config.detector_initial_delay_ms)
         while True:
-            yield from self._sweep()
+            if self.site.alive:
+                yield from self._sweep()
             yield self.env.timeout(self.config.detector_interval_ms)
 
     def _sweep(self):
         self.stats.sweeps += 1
-        # Local graph is read directly; remote graphs are requested (Alg. 4 l. 4).
+        # Local graph is read directly; remote graphs are requested from the
+        # *live* sites (Alg. 4 l. 4); a site crashing mid-collection is
+        # dropped via on_site_down, and the interval timeout bounds the
+        # sweep either way (detection pauses rather than wedges while the
+        # detector's own site is down).
         self._edges = list(self.site.wfg.snapshot())
-        others = [s for s in self.all_site_ids if s != self.site.site_id]
+        others = [
+            s
+            for s in self.all_site_ids
+            if s != self.site.site_id and self.network.is_up(s)
+        ]
         if others:
             self._pending = set(others)
             self._collect_event = self.env.event()
             for s in others:
                 self.network.send(self.site.site_id, s, WfgRequest(requester=self.site.site_id))
-            yield self._collect_event
+            deadline = self.env.timeout(self.config.detector_interval_ms)
+            yield self.env.any_of([self._collect_event, deadline])
             self._collect_event = None
+            if not self.site.alive:
+                return
         edges = self._edges
         self.stats.edges_examined += len(edges)
         if edges:

@@ -1,0 +1,125 @@
+"""Site failure handling: crash bookkeeping, primary failover, notification.
+
+The cluster owns one :class:`FaultManager`. When a site crashes it
+
+1. partitions the site off the network (its sends and deliveries drop);
+2. promotes a new primary for every document the dead site led, choosing
+   the **most-caught-up live secondary** (highest applied LSN in its
+   durable update log; placement order breaks ties deterministically) and
+   bumping the document's election epoch so the deposed primary is fenced;
+3. broadcasts a :class:`~repro.core.messages.SiteDownNotice` to every live
+   site so in-flight coordinators stop waiting on the dead participant.
+
+The monitor reads the candidates' log tips directly — the in-process
+stand-in for the election round trip, the same way the shared catalog
+stands in for placement lookups. Recovery is the inverse: the site rejoins
+the network (as a secondary; epochs keep deposed primaries deposed) and
+then catches up document by document from the current primaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..distribution.catalog import Catalog
+from ..sim.network import Network
+from .messages import SiteDownNotice, SiteUpNotice
+
+# Source id used for monitor broadcasts; never registered, never down.
+MONITOR_ID = "$failure-monitor"
+
+
+@dataclass
+class FaultStats:
+    crashes: int = 0
+    recoveries: int = 0
+    promotions: int = 0
+    orphaned_docs: int = 0  # primary crashed with no live secondary
+    promotion_log: list = field(default_factory=list)  # (time, doc, old, new, epoch)
+
+
+class FaultManager:
+    def __init__(self, env, network: Network, catalog: Catalog, sites: dict):
+        self.env = env
+        self.network = network
+        self.catalog = catalog
+        self.sites = sites  # site_id -> DTXSite (the cluster's live view)
+        self.stats = FaultStats()
+
+    # -- crash -------------------------------------------------------------
+
+    def on_site_crashed(self, site_id: Hashable) -> None:
+        """Called by the crashing site after it wiped its volatile state."""
+        self.stats.crashes += 1
+        self.network.set_down(site_id)
+        self._promote_away_from(site_id)
+        for other_id, other in self.sites.items():
+            if other_id != site_id and other.alive:
+                self.network.send(MONITOR_ID, other_id, SiteDownNotice(site=site_id))
+
+    def _promote_away_from(self, down: Hashable) -> None:
+        for doc_name in self.catalog.documents_at(down):
+            rset = self.catalog.replica_set(doc_name)
+            if rset.primary != down:
+                continue
+            live = [s for s in rset.secondaries if self.network.is_up(s)]
+            if not live:
+                # Every replica is down: the document is unavailable until a
+                # holder recovers (operations on it abort with
+                # 'no-live-replica' in the meantime).
+                self.stats.orphaned_docs += 1
+                continue
+            order = list(rset.secondaries)
+            best = min(
+                live,
+                key=lambda s: (-self._applied_lsn(s, doc_name), order.index(s)),
+            )
+            self.catalog.set_primary(doc_name, best)  # bumps the epoch
+            new_log = self.sites[best].log_for(doc_name)
+            if new_log.applied_lsn != new_log.max_recorded_lsn:
+                # A hole inherited at promotion can never fill: its batch
+                # died with the old primary. Compact the log to a snapshot
+                # base at the tip — the data of every recorded entry is
+                # already applied here — so catch-up serving keeps working
+                # (replicas below the base are healed by state transfer).
+                new_log.reset_to_snapshot(
+                    new_log.max_recorded_lsn, self.catalog.epoch(doc_name)
+                )
+            # New allocations continue above everything the new primary has
+            # recorded (including what the compaction just folded into the
+            # base), so no LSN is re-allocated under the new epoch at the
+            # serving primary.
+            self.catalog.reset_lsn(doc_name, new_log.max_recorded_lsn)
+            self.stats.promotions += 1
+            self.stats.promotion_log.append(
+                (self.env.now, doc_name, down, best, self.catalog.epoch(doc_name))
+            )
+            # Anti-entropy: the election chose the most-caught-up replica,
+            # so the other survivors may lag — and under lazy propagation
+            # the batch that would re-trigger their healing may have died
+            # with the old primary. Nudge them to reconcile now.
+            for secondary in live:
+                if secondary != best:
+                    self.sites[secondary].nudge_catch_up(doc_name)
+
+    def _applied_lsn(self, site_id: Hashable, doc_name: str) -> int:
+        return self.sites[site_id].log_for(doc_name).applied_lsn
+
+    def incarnation_of(self, site_id: Hashable) -> int:
+        """Current restart count of ``site_id`` (the membership view)."""
+        return self.sites[site_id].incarnation
+
+    # -- recovery ----------------------------------------------------------
+
+    def on_site_recovered(self, site_id: Hashable) -> None:
+        """Rejoin the network; the site itself drives catch-up afterwards.
+
+        The survivors are told too: a replica whose earlier catch-up
+        attempts were swallowed by this site's outage (it leads documents
+        they host) retries once the primary is back."""
+        self.stats.recoveries += 1
+        self.network.set_up(site_id)
+        for other_id, other in self.sites.items():
+            if other_id != site_id and other.alive:
+                self.network.send(MONITOR_ID, other_id, SiteUpNotice(site=site_id))

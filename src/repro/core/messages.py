@@ -22,12 +22,19 @@ _HEADER_BYTES = 48  # message envelope: ids, types, routing
 
 @dataclass
 class RemoteOpRequest:
-    """Coordinator -> participant: execute one operation (Alg. 1 l. 13)."""
+    """Coordinator -> participant: execute one operation (Alg. 1 l. 13).
+
+    ``incarnation`` is the coordinator's restart counter: a participant
+    refuses to execute work queued by a coordinator that has since crashed
+    (or crashed and restarted) — such a transaction would never be
+    committed or aborted by anyone, leaking its locks and effects.
+    """
 
     tid: TxId
     coordinator: Hashable
     op: Operation
     attempt: int  # retry counter; stale replies are dropped by attempt
+    incarnation: int = 0
 
     def size_bytes(self) -> int:
         return _HEADER_BYTES + self.op.payload_size()
@@ -122,29 +129,45 @@ class AbortAck:
 
 @dataclass
 class ReplicaSyncRequest:
-    """Coordinator -> secondary replica: apply these committed updates.
+    """Apply one committed update batch to a replica of one document.
 
-    Sent during commit under primary-copy ROWA, *before* the primary's
-    locks are released — the primary's lock table therefore orders the
-    sync streams of conflicting writers, and replicas cannot diverge.
-    ``ops`` preserves transaction order.
+    Sent during commit under eager primary-copy ROWA (before the primary's
+    locks are released — the primary's lock table therefore orders the sync
+    streams of conflicting writers), or asynchronously from the primary's
+    update log under lazy propagation. ``ops`` preserves transaction order.
+
+    ``lsn``/``epoch`` make the apply idempotent and fenced: a replica skips
+    entries at or below its applied LSN (replaying the same entry twice
+    leaves one copy), pulls missing entries from the primary when it sees a
+    gap, and refuses batches stamped with an epoch older than the current
+    primary election (a deposed primary cannot overwrite the new timeline).
+    ``log_only`` marks the copy sent to the document's *primary* when the
+    coordinator is elsewhere: the primary executed the updates already and
+    only needs the log entry recorded.
     """
 
     tid: TxId
     coordinator: Hashable
+    doc_name: str = ""
+    lsn: int = 0
+    epoch: int = 0
+    log_only: bool = False
     ops: list = field(default_factory=list)  # executed update Operations
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + sum(op.payload_size() for op in self.ops)
+        return _HEADER_BYTES + 24 + sum(op.payload_size() for op in self.ops)
 
 
 @dataclass
 class ReplicaSyncAck:
     tid: TxId
     site: Hashable
+    doc_name: str = ""
+    ok: bool = True
+    reason: str = ""  # 'stale-epoch' | 'refused' | 'gap' when not ok
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES
+        return _HEADER_BYTES + 1 + len(self.reason)
 
 
 @dataclass
@@ -161,6 +184,76 @@ class FailNotice:
 
     def size_bytes(self) -> int:
         return _HEADER_BYTES + 1
+
+
+@dataclass
+class SiteDownNotice:
+    """Failure monitor -> every live site: ``site`` crashed.
+
+    The perfect-failure-detector assumption of the simulated LAN: crashes
+    are detected and announced within one network hop. Receivers unstick
+    coordinators waiting on the dead site, resolve orphaned transactions it
+    coordinated, and wake local waiters (its locks died with it).
+    """
+
+    site: Hashable
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES
+
+
+@dataclass
+class SiteUpNotice:
+    """Failure monitor -> every live site: ``site`` recovered.
+
+    Receivers hosting a document whose *primary* just came back nudge
+    their own catch-up for it — the recovery window may have swallowed
+    their earlier attempts (anti-entropy closure for the event-driven
+    healing triggers)."""
+
+    site: Hashable
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES
+
+
+@dataclass
+class CatchUpRequest:
+    """Recovering/lagging replica -> primary: send me what I missed.
+
+    ``after_lsn``/``last_epoch`` describe the requester's log tip. The
+    primary answers with the missing log entries, or with a full snapshot
+    when the requester's tip is not on the primary's timeline (it applied
+    writes of a deposed primary) or predates the primary's own log base.
+    """
+
+    doc_name: str
+    requester: Hashable
+    req_id: int
+    after_lsn: int
+    last_epoch: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 24
+
+
+@dataclass
+class CatchUpResponse:
+    """Primary -> recovering replica: log suffix or full snapshot."""
+
+    doc_name: str
+    req_id: int
+    entries: list = field(default_factory=list)  # UpdateLogEntry, LSN order
+    snapshot: Any = None  # serialized document text, when diverged
+    snapshot_lsn: int = 0
+    snapshot_epoch: int = 0
+    ok: bool = True  # False: requester should retry later (e.g. mid-election)
+
+    def size_bytes(self) -> int:
+        size = _HEADER_BYTES + 16 + sum(e.payload_size() for e in self.entries)
+        if self.snapshot is not None:
+            size += len(self.snapshot)
+        return size
 
 
 @dataclass

@@ -23,6 +23,9 @@ class RunResult:
     network_bytes: int = 0
     detector_sweeps: int = 0
     distributed_deadlocks: int = 0
+    site_crashes: int = 0
+    site_recoveries: int = 0
+    promotions: int = 0  # primary failovers performed by the fault manager
     protocol: str = ""
     label: str = ""
 

@@ -26,7 +26,7 @@ from typing import Callable, Hashable, Optional
 
 from ..config import SystemConfig
 from ..deadlock.wfg import WaitForGraph
-from ..distribution.replication import ReplicationPolicy
+from ..distribution.replication import ReplicationPolicy, UpdateLog, UpdateLogEntry
 from ..errors import ReproError, UpdateError
 from ..locking.manager import LockManager
 from ..locking.table import LockTable
@@ -39,12 +39,16 @@ from ..storage.base import StorageBackend
 from ..storage.datamanager import DataManager
 from ..update.applier import apply_update
 from ..xml.model import Document
+from ..xml.parser import parse_document
+from ..xml.serializer import serialize_document
 from ..xpath.evaluator import EvalStats, evaluate
-from .context import CoordinatorRecord, OpEntry, SiteTxContext, _AbortTx
+from .context import CoordinatorRecord, OpEntry, SiteTxContext, _AbortTx, _SiteCrashed
 from .messages import (
     AbortAck,
     AbortOrder,
     AbortRequest,
+    CatchUpRequest,
+    CatchUpResponse,
     ClientRequest,
     CommitAck,
     CommitRequest,
@@ -53,6 +57,8 @@ from .messages import (
     RemoteOpResult,
     ReplicaSyncAck,
     ReplicaSyncRequest,
+    SiteDownNotice,
+    SiteUpNotice,
     TxOutcome,
     UndoOpAck,
     UndoOpRequest,
@@ -90,6 +96,14 @@ class SiteStats:
     peak_lock_count: int = 0
     replica_syncs_served: int = 0  # ReplicaSyncRequests applied at this site
     reads_routed: int = 0  # queries this coordinator routed to one replica
+    crashes: int = 0
+    recoveries: int = 0
+    catchups: int = 0  # catch-up rounds completed (recovery or gap healing)
+    catchup_entries_replayed: int = 0
+    catchup_snapshots: int = 0  # divergent logs healed by state transfer
+    syncs_refused: int = 0  # stale-epoch / fault-hook sync refusals served
+    lazy_batches_propagated: int = 0  # log entries pushed asynchronously
+    orphans_resolved: int = 0  # transactions of dead coordinators settled
 
 
 class DTXSite:
@@ -128,10 +142,35 @@ class DTXSite:
         self.stats = SiteStats()
         self.detector = None  # attached by the cluster on one site
 
-        # Fault-injection hooks for testing the abort/fail paths: tids (or
-        # '*') whose commit/abort requests this site will refuse.
-        self.refuse_commit: set = set()
-        self.refuse_abort: set = set()
+        # Fault tolerance. ``alive`` gates every externally visible effect;
+        # ``logs`` is the durable per-document update log (survives crashes,
+        # like the storage backend); ``faults`` is the cluster's
+        # FaultManager (None for a standalone site: crash/recover degrade
+        # to local state wipes).
+        self.alive = True
+        self.incarnation = 0  # bumped on every recovery; fences stale work
+        self.faults = None
+        self.logs: dict[str, UpdateLog] = {}
+        # Committed-state shadow copies. The live document of a doc this
+        # site executes writes on can carry *uncommitted* effects of
+        # in-flight transactions; persisting it verbatim would smuggle
+        # those into storage, and a crash+reload would resurrect them. The
+        # stable copy (created from the live tree just before the first
+        # local write) advances only by committed update batches and is
+        # what actually gets persisted. Docs without local writes need no
+        # shadow: their live tree *is* the committed state.
+        self._stable: dict[str, Document] = {}
+        self._catchup_gates: dict[str, object] = {}  # doc -> Event while catching up
+        self._catchup_waiters: dict[int, object] = {}  # req_id -> Event
+        self._catchup_seq = 0
+
+        # Fault-injection hooks for testing the abort/fail/crash paths:
+        # tids (or '*') whose commit/abort/replica-sync requests this site
+        # will refuse, and labeled points at which it will crash itself.
+        self.refuse_commit: set[TxId | str] = set()
+        self.refuse_abort: set[TxId | str] = set()
+        self.refuse_sync: set[TxId | str] = set()
+        self.crash_points: set[str] = set()
 
         env.process(self._listener())
         env.process(self._participant_loop())
@@ -148,14 +187,97 @@ class DTXSite:
     def documents_hosted(self) -> list[str]:
         return self.data_manager.live_documents()
 
+    def log_for(self, doc_name: str) -> UpdateLog:
+        """The durable update log of ``doc_name`` at this site."""
+        log = self.logs.get(doc_name)
+        if log is None:
+            log = self.logs[doc_name] = UpdateLog(doc_name)
+        return log
+
+    # ------------------------------------------------------------------
+    # fault-injection and liveness helpers
+    # ------------------------------------------------------------------
+
+    def should_refuse(self, tid: TxId, refusals: set[TxId | str]) -> bool:
+        """Whether a fault hook tells this site to refuse ``tid``'s request.
+
+        Shared by the commit, abort and replica-sync paths; ``refusals``
+        holds transaction ids or the wildcard ``'*'``.
+        """
+        return "*" in refusals or tid in refusals
+
+    def _maybe_crash(self, point: str) -> bool:
+        """Crash the site if the fault schedule names ``point``.
+
+        Each label fires once. Returns True when the site just crashed (or
+        already was down): the caller must stop doing externally visible
+        work immediately.
+        """
+        if point in self.crash_points:
+            self.crash_points.discard(point)
+            self.crash()
+        return not self.alive
+
+    def _check_alive(self) -> None:
+        """Resumption guard for coordinator coroutines: stop if crashed."""
+        if not self.alive:
+            raise _SiteCrashed()
+
+    def _coordinator_valid(self, coordinator: Hashable, incarnation: int) -> bool:
+        """Whether the sending coordinator is still the incarnation that
+        queued this work (alive and never restarted since)."""
+        if coordinator == self.site_id:
+            return self.alive and incarnation == self.incarnation
+        if not self.network.is_up(coordinator):
+            return False
+        if self.faults is None:
+            return True  # standalone site: no membership view to consult
+        return self.faults.incarnation_of(coordinator) == incarnation
+
+    # ------------------------------------------------------------------
+    # committed-state (stable) copies and durable writes
+    # ------------------------------------------------------------------
+
+    def _stable_apply(self, doc_name: str, ops) -> None:
+        """Fold a committed update batch into the stable copy, if one
+        exists (without one, the live tree is the committed state)."""
+        stable = self._stable.get(doc_name)
+        if stable is None:
+            return
+        for op in ops:
+            apply_update(op.payload, stable, None)
+
+    def _persist_committed(self, doc_name: str) -> int:
+        """Write the committed state of ``doc_name`` through to storage."""
+        stable = self._stable.get(doc_name)
+        if stable is None:
+            return self.data_manager.persist(doc_name)
+        return self.data_manager.backend.store(stable)
+
     # ------------------------------------------------------------------
     # client entry point
     # ------------------------------------------------------------------
 
     def submit(self, tx: Transaction, deliver: Callable[[TxOutcome], None]) -> None:
         """Accept a transaction from a locally connected client."""
-        self.inbox.put(ClientRequest(transaction=tx))
         tx.stats.submitted_ts = self.env.now
+        if not self.alive:
+            # Connection refused: the site is down. The outcome is
+            # delivered through the normal event machinery so the client's
+            # wait still goes through the simulated clock.
+            tx.state = TxState.FAILED
+            tx.abort_reason = "site-down"
+            deliver(
+                TxOutcome(
+                    tid=TxId(site=self.site_id, seq=0, start_ts=self.env.now),
+                    status="failed",
+                    reason="site-down",
+                    submitted_ts=self.env.now,
+                    finished_ts=self.env.now,
+                )
+            )
+            return
+        self.inbox.put(ClientRequest(transaction=tx))
         tx._deliver = deliver  # stashed until the coordinator record exists
 
     # ------------------------------------------------------------------
@@ -183,6 +305,14 @@ class DTXSite:
                 self._on_ack(msg)
             elif isinstance(msg, FailNotice):
                 self._handle_fail_notice(msg)
+            elif isinstance(msg, SiteDownNotice):
+                self._on_site_down(msg.site)
+            elif isinstance(msg, SiteUpNotice):
+                self._on_site_up(msg.site)
+            elif isinstance(msg, CatchUpRequest):
+                self.env.process(self._handle_catchup_request(msg))
+            elif isinstance(msg, CatchUpResponse):
+                self._on_catchup_response(msg)
             elif isinstance(msg, WakeNotice):
                 self._wake_coordinator(msg.tid)
             elif isinstance(msg, WfgRequest):
@@ -232,7 +362,7 @@ class DTXSite:
                 acquired=False, deadlock=outcome.deadlock, cost_ms=cost
             )
 
-        entry = OpEntry(doc_name=op.doc_name, lock_pairs=outcome.new_pairs)
+        entry = OpEntry(doc_name=op.doc_name, lock_pairs=outcome.new_pairs, op=op)
         eval_stats = EvalStats()
         try:
             if op.kind is OpKind.QUERY:
@@ -245,6 +375,11 @@ class DTXSite:
                 return LocalResult(
                     acquired=True, executed=True, result_size=size, cost_ms=cost
                 )
+            if op.doc_name not in self._stable:
+                # First local write on this doc: the live tree still equals
+                # the committed state — snapshot it as the stable copy that
+                # persists will be taken from.
+                self._stable[op.doc_name] = doc.clone()
             undo_before = len(ctx.undo)
             changes = apply_update(op.payload, doc, ctx.undo, eval_stats)
             self.protocol.after_apply(op.doc_name, changes)
@@ -296,10 +431,19 @@ class DTXSite:
         ctx = self.tx_contexts.pop(tid, None)
         cost = 0.0
         if ctx is not None:
+            by_doc = ctx.executed_updates_by_doc()
             persisted = 0
             for name in ctx.touched_doc_names():
-                persisted += self.data_manager.persist(name)
+                if name in by_doc and name not in ctx.stable_applied:
+                    self._stable_apply(name, by_doc[name])
+                    ctx.stable_applied.add(name)
+                persisted += self._persist_committed(name)
             cost += (persisted / 1024.0) * self.costs.persist_per_kb_ms
+            if self.replication.is_lazy:
+                # Log the committed updates of every document this site
+                # leads *before* the locks release (log order = commit
+                # order) and queue their asynchronous propagation.
+                self._log_and_queue_lazy(tid, ctx)
             ctx.undo.clear()
         _, lock_ops = self.lock_manager.release_transaction(tid)
         cost += lock_ops * self.costs.lock_op_ms
@@ -333,8 +477,17 @@ class DTXSite:
         primary and secondaries durably identical)."""
         ctx = self.tx_contexts.pop(tid, None)
         if persist and ctx is not None:
+            by_doc = ctx.executed_updates_by_doc()
             for name in ctx.touched_doc_names():
-                self.data_manager.persist(name)
+                if name in by_doc and name not in ctx.stable_applied:
+                    self._stable_apply(name, by_doc[name])
+                    ctx.stable_applied.add(name)
+                self._persist_committed(name)
+            if self.replication.is_lazy:
+                # Kept effects behave like a commit for replication: log
+                # and propagate them, or the secondaries would silently
+                # diverge from the primary that kept them.
+                self._log_and_queue_lazy(tid, ctx)
         self.lock_manager.release_transaction(tid)
         self.finished.add(tid)
         self.waiters.pop(tid, None)
@@ -388,8 +541,11 @@ class DTXSite:
         while True:
             req: RemoteOpRequest = yield self.remote_ops.get()
             yield self.env.timeout(self.costs.scheduler_dispatch_ms)
-            if req.tid in self.finished:
-                continue  # transaction ended while the request was queued
+            if not self.alive or req.tid in self.finished:
+                continue  # site crashed / transaction ended while queued
+            if not self._coordinator_valid(req.coordinator, req.incarnation):
+                continue  # its coordinator died while this was queued:
+                # executing now would leak locks and effects nobody settles
             result = self._execute_operation(req.tid, req.coordinator, req.op)
             self.stats.remote_ops_served += 1
             if result.cost_ms:
@@ -411,6 +567,8 @@ class DTXSite:
             )
 
     def _handle_undo_request(self, msg: UndoOpRequest):
+        if not self.alive:
+            return
         cost = self._undo_operation(msg.tid, msg.op_index)
         if cost:
             yield self.env.timeout(cost)
@@ -422,42 +580,178 @@ class DTXSite:
         )
 
     def _handle_replica_sync(self, msg: ReplicaSyncRequest):
-        """Apply a committed transaction's updates to this secondary replica.
+        """Record (and, at secondaries, apply) one committed update batch.
 
-        No locks are taken and no undo is recorded: the data is already
-        committed at the primary, whose still-held locks order conflicting
-        sync streams. All operations are applied before any simulated time
-        passes, so a sync is atomic with respect to concurrent local reads.
+        No locks are taken and no undo is recorded: the batch is already
+        committed at the primary, whose lock table ordered conflicting
+        writers. The LSN/epoch checks make the apply idempotent (a
+        replayed entry is skipped — one copy remains), gap-healing (missed
+        entries are pulled from the primary first) and fenced (batches
+        stamped with a pre-promotion epoch are refused). All operations of
+        a batch are applied before any simulated time passes, so a sync is
+        atomic with respect to concurrent local reads.
         """
+        if self._maybe_crash("sync-recv"):
+            return  # crashed before applying anything
+        doc_name = msg.doc_name
+        if self.should_refuse(msg.tid, self.refuse_sync):
+            self.stats.syncs_refused += 1
+            yield self.env.timeout(0)
+            self._send_sync_ack(msg, ok=False, reason="refused")
+            return
+        # Serialize with an in-flight catch-up on the same document.
+        while doc_name in self._catchup_gates:
+            yield self._catchup_gates[doc_name]
+        if not self.alive:
+            return
+        if msg.epoch < self.catalog.epoch(doc_name):
+            self.stats.syncs_refused += 1
+            yield self.env.timeout(0)
+            self._send_sync_ack(msg, ok=False, reason="stale-epoch")
+            return
+        log = self.log_for(doc_name)
         cost = self.costs.scheduler_dispatch_ms
-        touched: list[str] = []
-        for op in msg.ops:
-            doc = self.data_manager.document(op.doc_name)
-            eval_stats = EvalStats()
-            try:
-                changes = apply_update(op.payload, doc, None, eval_stats)
-            except UpdateError as exc:  # pragma: no cover - replica divergence
-                raise ReproError(
-                    f"site {self.site_id}: replica sync of {msg.tid} failed "
-                    f"on {op.doc_name!r}: {exc}"
-                ) from exc
-            self.protocol.after_apply(op.doc_name, changes)
-            cost += (
-                eval_stats.nodes_visited * self.costs.node_visit_ms
-                + max(1, len(changes)) * self.costs.update_apply_ms
-            )
-            if op.doc_name not in touched:
-                touched.append(op.doc_name)
-        persisted = sum(self.data_manager.persist(name) for name in touched)
-        cost += (persisted / 1024.0) * self.costs.persist_per_kb_ms
+        existing = log.entries.get(msg.lsn)
+        if existing is not None and existing.epoch != msg.epoch:
+            # This LSN slot is occupied by a *phantom*: a batch of a
+            # deposed timeline this replica applied while the rest of the
+            # cluster moved on (promotions restart the LSN sequence at the
+            # new primary's tip, so slots can be reused across epochs).
+            # The phantom's data is in our document; log replay cannot
+            # reconcile that — heal by snapshot transfer first.
+            yield from self._catch_up(doc_name, force_snapshot=True)
+            if not self.alive:
+                return
+            log = self.log_for(doc_name)
+            existing = log.entries.get(msg.lsn)
+            if existing is not None and existing.epoch != msg.epoch:
+                # Heal did not complete (primary down / mid-flight holes):
+                # refuse and stay behind; the next trigger retries.
+                self.stats.syncs_refused += 1
+                yield self.env.timeout(0)
+                self._send_sync_ack(msg, ok=False, reason="gap")
+                return
+        if log.has(msg.lsn):
+            # Duplicate delivery or replayed log entry: idempotent no-op.
+            yield self.env.timeout(cost)
+            self._send_sync_ack(msg, ok=True)
+            return
+        if msg.log_only:
+            # This site is the document's primary and executed the updates
+            # itself, so only the log entry is recorded — together with a
+            # persist, so log and data stay durably consistent. Holes below
+            # this LSN are records of non-conflicting racing commits still
+            # in flight to us (conflicting predecessors were acked before
+            # this transaction could even lock): safe to record over.
+            ctx = self.tx_contexts.get(msg.tid)
+            if ctx is not None:
+                entry = UpdateLogEntry(
+                    lsn=msg.lsn, epoch=msg.epoch, tid=msg.tid,
+                    doc_name=doc_name, ops=tuple(msg.ops),
+                )
+                cost += self._apply_log_entry(entry, apply_data=False)
+                # Once synced the batch can only commit or fail-keep, never
+                # undo: fold it into the stable copy and persist, so the
+                # durable log entry and the durable data move together.
+                if doc_name not in ctx.stable_applied:
+                    self._stable_apply(doc_name, msg.ops)
+                    ctx.stable_applied.add(doc_name)
+                persisted = self._persist_committed(doc_name)
+                cost += (persisted / 1024.0) * self.costs.persist_per_kb_ms
+                ctx.synced = True  # a dead coordinator now resolves to commit
+                self.stats.replica_syncs_served += 1
+                yield self.env.timeout(cost)
+                if self._maybe_crash("sync-applied"):
+                    return
+                self._send_sync_ack(msg, ok=True)
+                return
+            # No execution state: this primary crashed and recovered while
+            # the transaction was in flight. Its effects are gone from
+            # memory, so fall through and incorporate the batch the way a
+            # secondary would — by applying the shipped operations.
+        if msg.lsn > log.applied_lsn + 1:
+            # Batches below this one are missing: either non-conflicting
+            # racing writers whose syncs are still in flight to us (they
+            # commute with this batch and fill in on arrival), or batches
+            # produced while this replica was down. If *we* are the
+            # primary, every predecessor that could conflict with this
+            # batch committed — and was therefore recorded — here, so the
+            # remaining holes commute and it is safe to proceed. Otherwise
+            # ask the primary: its answer (as of after this batch was
+            # sent) contains every conflicting predecessor, so once a
+            # response arrived it is safe to apply even if commuting holes
+            # remain.
+            if self.catalog.replica_set(doc_name).primary != self.site_id:
+                caught_up = yield from self._catch_up(doc_name)
+                if not self.alive:
+                    return
+                if log.has(msg.lsn):
+                    yield self.env.timeout(cost)
+                    self._send_sync_ack(msg, ok=True)
+                    return
+                if not caught_up and msg.lsn > log.applied_lsn + 1:
+                    # No response (primary down / timed out): stay behind
+                    # rather than apply over unknown state; the next sync
+                    # or recovery trigger retries.
+                    self.stats.syncs_refused += 1
+                    self._send_sync_ack(msg, ok=False, reason="gap")
+                    return
+        entry = UpdateLogEntry(
+            lsn=msg.lsn, epoch=msg.epoch, tid=msg.tid,
+            doc_name=doc_name, ops=tuple(msg.ops),
+        )
+        cost += self._apply_log_entry(entry)
         self.stats.replica_syncs_served += 1
         yield self.env.timeout(cost)
+        if self._maybe_crash("sync-applied"):
+            return  # crashed after the durable apply, before the ack
+        self._send_sync_ack(msg, ok=True)
+
+    def _send_sync_ack(self, msg: ReplicaSyncRequest, ok: bool, reason: str = "") -> None:
         self.network.send(
-            self.site_id, msg.coordinator, ReplicaSyncAck(tid=msg.tid, site=self.site_id)
+            self.site_id,
+            msg.coordinator,
+            ReplicaSyncAck(
+                tid=msg.tid, site=self.site_id, doc_name=msg.doc_name,
+                ok=ok, reason=reason,
+            ),
         )
 
+    def _apply_log_entry(self, entry: UpdateLogEntry, apply_data: bool = True) -> float:
+        """Apply one update batch and record it durably; returns the cost.
+
+        ``apply_data=False`` is the primary's path: it executed the
+        transaction itself, so only the log entry needs recording. The data
+        mutation, persist and log append happen without yielding, so the
+        batch is atomic even against a concurrently scheduled crash.
+        """
+        cost = 0.0
+        if apply_data:
+            doc = self.data_manager.document(entry.doc_name)
+            for op in entry.ops:
+                eval_stats = EvalStats()
+                try:
+                    changes = apply_update(op.payload, doc, None, eval_stats)
+                except UpdateError as exc:  # pragma: no cover - replica divergence
+                    raise ReproError(
+                        f"site {self.site_id}: replica sync of {entry.tid} failed "
+                        f"on {entry.doc_name!r}: {exc}"
+                    ) from exc
+                self.protocol.after_apply(entry.doc_name, changes)
+                cost += (
+                    eval_stats.nodes_visited * self.costs.node_visit_ms
+                    + max(1, len(changes)) * self.costs.update_apply_ms
+                )
+            self._stable_apply(entry.doc_name, entry.ops)
+            persisted = self._persist_committed(entry.doc_name)
+            cost += (persisted / 1024.0) * self.costs.persist_per_kb_ms
+        self.log_for(entry.doc_name).record(entry)
+        return cost
+
     def _handle_commit_request(self, msg: CommitRequest):
-        if "*" in self.refuse_commit or msg.tid in self.refuse_commit:
+        if not self.alive:
+            return
+        if self.should_refuse(msg.tid, self.refuse_commit):
             yield self.env.timeout(0)
             self.network.send(
                 self.site_id, msg.coordinator, CommitAck(tid=msg.tid, site=self.site_id, ok=False)
@@ -470,7 +764,9 @@ class DTXSite:
         )
 
     def _handle_abort_request(self, msg: AbortRequest):
-        if "*" in self.refuse_abort or msg.tid in self.refuse_abort:
+        if not self.alive:
+            return
+        if self.should_refuse(msg.tid, self.refuse_abort):
             yield self.env.timeout(0)
             self.network.send(
                 self.site_id, msg.coordinator, AbortAck(tid=msg.tid, site=self.site_id, ok=False)
@@ -483,6 +779,8 @@ class DTXSite:
         )
 
     def _handle_fail_notice(self, msg: FailNotice) -> None:
+        if not self.alive:
+            return
         self._fail_at_site(msg.tid, persist=msg.persist)
 
     # ------------------------------------------------------------------
@@ -513,7 +811,10 @@ class DTXSite:
         }[type(msg)]
         if rec.phase != expected_phase:
             return
-        rec.acks[msg.site] = msg
+        # Sync rounds carry one message per (site, document) pair; the
+        # other rounds are keyed by site alone.
+        key = (msg.site, msg.doc_name) if isinstance(msg, ReplicaSyncAck) else msg.site
+        rec.acks[key] = msg
         if (
             rec.ack_event is not None
             and not rec.ack_event.triggered
@@ -525,6 +826,7 @@ class DTXSite:
         rec.phase = phase
         rec.ack_expected = set(sites)
         rec.acks = {}
+        rec.down_acks = set()
         rec.ack_event = self.env.event()
 
     # ------------------------------------------------------------------
@@ -544,26 +846,31 @@ class DTXSite:
 
         status, reason = "committed", ""
         try:
-            for op in tx.operations:
-                yield from self._run_operation(rec, op)
-            tx.state = TxState.COMMITTING
-            committed = yield from self._commit_transaction(rec)
-            if not committed:
-                raise _AbortTx("commit-refused")
-            tx.state = TxState.COMMITTED
-            self.stats.commits += 1
-        except _AbortTx as abort:
-            reason = abort.reason
-            tx.state = TxState.ABORTING
-            tx.abort_reason = reason
-            aborted_ok = yield from self._abort_transaction(rec)
-            if aborted_ok:
-                tx.state = TxState.ABORTED
-                status = "aborted"
-                self.stats.aborts += 1
-            else:
-                tx.state = TxState.FAILED
-                status = "failed"
+            try:
+                for op in tx.operations:
+                    yield from self._run_operation(rec, op)
+                tx.state = TxState.COMMITTING
+                committed = yield from self._commit_transaction(rec)
+                if not committed:
+                    raise _AbortTx(rec.abort_reason or "commit-refused")
+                tx.state = TxState.COMMITTED
+                self.stats.commits += 1
+            except _AbortTx as abort:
+                reason = abort.reason
+                tx.state = TxState.ABORTING
+                tx.abort_reason = reason
+                aborted_ok = yield from self._abort_transaction(rec)
+                if aborted_ok:
+                    tx.state = TxState.ABORTED
+                    status = "aborted"
+                    self.stats.aborts += 1
+                else:
+                    tx.state = TxState.FAILED
+                    status = "failed"
+        except _SiteCrashed:
+            # This site died under the coordinator: crash() already
+            # delivered the (failed) outcome and wiped the volatile state.
+            return
         finally:
             self.coordinators.pop(tid, None)
             self.finished.add(tid)
@@ -581,6 +888,7 @@ class DTXSite:
     def _run_operation(self, rec: CoordinatorRecord, op: Operation):
         tx = rec.tx
         while True:
+            self._check_alive()
             if rec.abort_requested:
                 raise _AbortTx(rec.abort_reason or "abort-ordered")
             rset = self.catalog.replica_set(op.doc_name)
@@ -593,8 +901,22 @@ class DTXSite:
                 )
             else:
                 sites = self.replication.route_write(rset)
+            # Route around crashed replicas. Under primary-copy the routed
+            # write target *is* the (possibly freshly promoted) primary, so
+            # a dead entry here means no live copy is left. Under the
+            # paper's write-everywhere regime a single dead replica makes
+            # eager write-all impossible (there is no log to catch the dead
+            # copy up from), so updates refuse instead of diverging.
+            live_sites = [s for s in sites if self.network.is_up(s)]
+            if not live_sites:
+                raise _AbortTx("no-live-replica")
+            if len(live_sites) < len(sites) and op.kind is OpKind.UPDATE:
+                if not self.replication.is_primary_copy:
+                    raise _AbortTx("replica-down")
+            sites = live_sites
             tx.sites_involved.update(sites)
             yield self.env.timeout(self.costs.scheduler_dispatch_ms)
+            self._check_alive()
 
             # Ship the operation to every routed site (all replicas under
             # the paper's regime; one read replica / the primary under
@@ -609,26 +931,40 @@ class DTXSite:
                 self.network.send(
                     self.site_id,
                     site,
-                    RemoteOpRequest(tid=rec.tid, coordinator=self.site_id, op=op, attempt=rec.attempt),
+                    RemoteOpRequest(
+                        tid=rec.tid, coordinator=self.site_id, op=op,
+                        attempt=rec.attempt, incarnation=self.incarnation,
+                    ),
                 )
             results = yield rec.response_event
             rec.response_event = None
+            self._check_alive()
             tx.stats.op_attempts += 1
 
-            acquired_all = all(r.acquired for r in results.values())
+            # Participants that died mid-operation never answered; their
+            # volatile state (locks, partial effects) died with them.
+            missing = set(sites) - set(results)
+
+            acquired_all = not missing and all(r.acquired for r in results.values())
             any_failed = any(r.failed for r in results.values())
             any_deadlock = any(r.deadlock for r in results.values())
 
             if acquired_all and not any_failed:
                 op.executed = True
+                rec.executed_sites.update(sites)
                 if op.kind is OpKind.UPDATE:
                     rec.written_docs.add(op.doc_name)
+                    rec.write_sites.setdefault(op.doc_name, set()).update(sites)
                 elif len(sites) < rset.degree:
                     self.stats.reads_routed += 1  # once per routed query
                 return
 
             # Back out sites where the operation did execute (Alg. 1 l. 16).
-            executed_sites = [r.site for r in results.values() if r.executed]
+            executed_sites = [
+                r.site
+                for r in results.values()
+                if r.executed and self.network.is_up(r.site)
+            ]
             if executed_sites:
                 self._collect_acks(rec, "undo", executed_sites)
                 for site in executed_sites:
@@ -642,11 +978,21 @@ class DTXSite:
                     )
                 yield rec.ack_event
                 rec.phase = ""
+                self._check_alive()
 
             if any_failed:
                 raise _AbortTx("operation-failed")
             if any_deadlock:
                 raise _AbortTx("local-deadlock")
+            if missing:
+                # A routed site crashed before answering. Earlier
+                # operations that executed there are gone for good — the
+                # transaction cannot be salvaged. Otherwise retry: the
+                # failover already re-pointed the catalog, so the next
+                # round routes to the new primary / a live replica.
+                if missing & rec.executed_sites:
+                    raise _AbortTx("participant-crashed")
+                continue
 
             # Wait mode (Alg. 1 l. 9 / l. 17), then retry the operation.
             tx.state = TxState.WAITING
@@ -667,91 +1013,582 @@ class DTXSite:
         fired = yield self.env.any_of(waits)
         rec.wake_event = None
         rec.wake_pending = False
+        self._check_alive()
         if timeout_ev is not None and timeout_ev in fired and not rec.abort_requested:
             raise _AbortTx("lock-wait-timeout")
 
     def _sync_replicas(self, rec: CoordinatorRecord):
-        """Primary-copy ROWA: push executed updates to every secondary.
+        """Eager primary-copy ROWA: replicate executed updates at commit.
 
         Runs at the top of the commit procedure, while the primary's locks
         are still held — conflicting writers therefore sync in lock-grant
-        order and secondaries apply transactions in commit order. The
-        commit (and with it the client's outcome and the lock release)
-        proceeds only after every secondary acknowledged.
+        order and secondaries apply transactions in commit order. Per
+        document one LSN is allocated; the batch is recorded in the
+        primary's durable log (locally when the coordinator is the
+        primary, via a log-only sync otherwise) and applied at every live
+        secondary. Crashed or refusing secondaries are skipped — they
+        catch the batch up from the log later — so a single dead replica
+        no longer blocks the commit. Returns False when the epoch fence
+        refused the batch (this coordinator acted on a deposed primary):
+        the caller must unwind.
         """
-        per_site: dict = {}
+        per_doc: dict[str, list] = {}
         for op in rec.tx.operations:
             if op.kind is OpKind.UPDATE and op.executed:
-                for site in self.replication.sync_targets(
-                    self.catalog.replica_set(op.doc_name)
-                ):
-                    per_site.setdefault(site, []).append(op)
-        if not per_site:
-            return
-        self._collect_acks(rec, "sync", list(per_site))
-        for site, ops in per_site.items():
-            self.network.send(
-                self.site_id,
-                site,
-                ReplicaSyncRequest(tid=rec.tid, coordinator=self.site_id, ops=list(ops)),
-            )
-        yield rec.ack_event
+                per_doc.setdefault(op.doc_name, []).append(op)
+        if not per_doc:
+            return True
+        ack_keys: list = []
+        sends: list = []
+        for doc_name, ops in per_doc.items():
+            rset = self.catalog.replica_set(doc_name)
+            if not rset.is_replicated:
+                continue  # single copy: commit/abort handle it alone
+            origin = rec.write_sites.get(doc_name, set())
+            if rset.primary not in origin or any(
+                not self.network.is_up(s) for s in origin
+            ):
+                # The copy these updates executed at is no longer the live
+                # primary (it crashed between execution and commit; the
+                # failover re-pointed the catalog). The uncommitted effects
+                # died with it — replicating from here would ship updates
+                # this coordinator cannot vouch for.
+                rec.abort_reason = "participant-crashed"
+                return False
+            lsn = self.catalog.allocate_lsn(doc_name)
+            epoch = self.catalog.epoch(doc_name)
+            if rset.primary == self.site_id:
+                self._apply_log_entry(
+                    UpdateLogEntry(
+                        lsn=lsn, epoch=epoch, tid=rec.tid,
+                        doc_name=doc_name, ops=tuple(ops),
+                    ),
+                    apply_data=False,
+                )
+                ctx = self.tx_contexts.get(rec.tid)
+                if ctx is not None and doc_name not in ctx.stable_applied:
+                    self._stable_apply(doc_name, ops)
+                    ctx.stable_applied.add(doc_name)
+                self._persist_committed(doc_name)
+                # Recorded in this (the primary's) durable log, with the
+                # matching data persisted: the batch can now reach the
+                # secondaries even if the commit later degrades to a
+                # kept-effects failure or this coordinator dies.
+                rec.synced = True
+            elif self.network.is_up(rset.primary):
+                ack_keys.append((rset.primary, doc_name))
+                sends.append(
+                    (
+                        rset.primary,
+                        ReplicaSyncRequest(
+                            tid=rec.tid, coordinator=self.site_id,
+                            doc_name=doc_name, lsn=lsn, epoch=epoch,
+                            log_only=True, ops=list(ops),
+                        ),
+                    )
+                )
+            for target in self.replication.sync_targets(rset):
+                if not self.network.is_up(target):
+                    continue  # dead secondary: catches up after recovery
+                ack_keys.append((target, doc_name))
+                sends.append(
+                    (
+                        target,
+                        ReplicaSyncRequest(
+                            tid=rec.tid, coordinator=self.site_id,
+                            doc_name=doc_name, lsn=lsn, epoch=epoch,
+                            ops=list(ops),
+                        ),
+                    )
+                )
+        if not ack_keys:
+            return True
+        self._collect_acks(rec, "sync", ack_keys)
+        for target, msg in sends:
+            self.network.send(self.site_id, target, msg)
+        acks = yield rec.ack_event
         rec.phase = ""
-        rec.synced = True
+        self._check_alive()
+        if any(a.ok for a in acks.values()):
+            rec.synced = True
+        if any(not a.ok and a.reason == "stale-epoch" for a in acks.values()):
+            rec.abort_reason = "stale-epoch"
+            return False
+        return True
 
     def _commit_transaction(self, rec: CoordinatorRecord):
         """Algorithm 5. Returns True on commit, False to fall into abort."""
-        if self.replication.is_primary_copy:
-            yield from self._sync_replicas(rec)
+        self._check_alive()
+        if rec.abort_requested:
+            return False
+        if self.replication.is_eager:
+            synced_ok = yield from self._sync_replicas(rec)
+            if not synced_ok:
+                return False
         others = [s for s in rec.tx.sites_involved if s != self.site_id]
-        if others:
-            self._collect_acks(rec, "commit", others)
-            for site in others:
+        live = [s for s in others if self.network.is_up(s)]
+        if len(live) < len(others) and not rec.synced:
+            # A participant died holding this transaction's state and
+            # nothing is durable beyond the survivors: unwind.
+            rec.abort_reason = rec.abort_reason or "participant-crashed"
+            return False
+        if live:
+            self._collect_acks(rec, "commit", live)
+            for site in live:
                 self.network.send(
                     self.site_id, site, CommitRequest(tid=rec.tid, coordinator=self.site_id)
                 )
+            if self._maybe_crash("commit-request-sent"):
+                raise _SiteCrashed()
             acks = yield rec.ack_event
             rec.phase = ""
-            if not all(a.ok for a in acks.values()):
+            self._check_alive()
+            ok_acks = [a for a in acks.values() if a.ok]
+            refused = [a for a in acks.values() if not a.ok]
+            ambiguous = bool(rec.down_acks)  # crashed mid-round: unknown
+            if refused or (ambiguous and not rec.synced):
+                if ok_acks or ambiguous:
+                    # Participants commit on receipt: those that acked ok
+                    # (or died before answering) may hold committed state.
+                    # A clean abort is no longer truthful — degrade to
+                    # fail-with-state-kept (the paper's fail semantics).
+                    rec.partial_commit = True
+                if ambiguous and not refused:
+                    rec.abort_reason = "participant-crashed"
                 return False
         cost = self._commit_at_site(rec.tid)
         if cost:
             yield self.env.timeout(cost)
+            self._check_alive()
         return True
 
     def _abort_transaction(self, rec: CoordinatorRecord):
         """Algorithm 6. Returns True when the abort executed everywhere;
         False means the transaction *failed* (fail notices were sent)."""
+        self._check_alive()
         others = [s for s in rec.tx.sites_involved if s != self.site_id]
-        if rec.synced:
-            # The commit-time sync already applied the updates durably at
-            # every secondary, and there is no replica-wide undo: undoing at
-            # the primary alone would diverge the replicas. Keep the effects
-            # everywhere and fail the transaction instead (the paper's fail
-            # semantics: state is kept, the application is alerted). Every
-            # involved site persists its kept effects so the primary — which
-            # may be a remote participant — stays durably identical to the
-            # secondaries that persisted during the sync.
-            for site in others:
+        live = [s for s in others if self.network.is_up(s)]
+        if rec.synced or rec.partial_commit:
+            # The commit-time sync already recorded the updates durably
+            # beyond the primary (or part of the commit round already
+            # applied), and there is no replica-wide undo: undoing at the
+            # primary alone would diverge the replicas. Keep the effects
+            # everywhere and fail the transaction instead (the paper's
+            # fail semantics: state is kept, the application is alerted).
+            # Every involved site persists its kept effects so the primary
+            # — which may be a remote participant — stays durably
+            # identical to the secondaries that persisted during the sync.
+            for site in live:
                 self.network.send(
                     self.site_id, site, FailNotice(tid=rec.tid, persist=True)
                 )
             self._fail_at_site(rec.tid, persist=True)
             return False
-        if others:
-            self._collect_acks(rec, "abort", others)
-            for site in others:
+        if live:
+            self._collect_acks(rec, "abort", live)
+            for site in live:
                 self.network.send(
                     self.site_id, site, AbortRequest(tid=rec.tid, coordinator=self.site_id)
                 )
             acks = yield rec.ack_event
             rec.phase = ""
+            self._check_alive()
             if not all(a.ok for a in acks.values()):
-                for site in others:
+                for site in live:
                     self.network.send(self.site_id, site, FailNotice(tid=rec.tid))
                 self._fail_at_site(rec.tid)
                 return False
         cost = self._abort_at_site(rec.tid)
         if cost:
             yield self.env.timeout(cost)
+            self._check_alive()
         return True
+
+    # ------------------------------------------------------------------
+    # crash / recovery
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop this site: volatile state vanishes, messages drop.
+
+        In-memory documents, the lock table, the wait-for graph,
+        transaction contexts, queued messages and in-flight coordinator
+        state are all lost; the storage backend and the update logs survive
+        (disk). In-flight transactions coordinated here are reported
+        'failed' to their clients (the connection died); their state at
+        live participants is settled by those sites when the failure
+        monitor's SiteDownNotice arrives.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.stats.crashes += 1
+        # Sever the clients: every in-flight coordinated transaction is
+        # ambiguous from the client's point of view. The pending events are
+        # triggered so the coordinator generators resume, observe the crash
+        # (_check_alive) and unwind without further effects.
+        for tid, rec in list(self.coordinators.items()):
+            rec.tx.state = TxState.FAILED
+            rec.tx.abort_reason = "site-crashed"
+            rec.deliver(
+                TxOutcome(
+                    tid=tid,
+                    status="failed",
+                    reason="site-crashed",
+                    submitted_ts=rec.tx.stats.submitted_ts,
+                    finished_ts=self.env.now,
+                )
+            )
+            self.finished.add(tid)
+            self.stats.fails += 1
+            for ev in (rec.response_event, rec.ack_event, rec.wake_event):
+                if ev is not None and not ev.triggered:
+                    ev.succeed({})
+        self.coordinators.clear()
+        self.tx_contexts.clear()
+        self.waiters.clear()
+        self._stable.clear()  # in-memory staging; its durable form is storage
+        self.wfg = WaitForGraph()
+        self.lock_manager = LockManager(LockTable(self.protocol.matrix), self.wfg)
+        self.inbox.clear()
+        self.remote_ops.clear()
+        for gate in list(self._catchup_gates.values()):
+            if not gate.triggered:
+                gate.succeed(None)
+        self._catchup_gates.clear()
+        for waiter in list(self._catchup_waiters.values()):
+            if not waiter.triggered:
+                waiter.succeed(None)
+        self._catchup_waiters.clear()
+        if self.faults is not None:
+            self.faults.on_site_crashed(self.site_id)
+        else:
+            self.network.set_down(self.site_id)
+
+    def recover(self) -> None:
+        """Restart after a crash: reload persisted state and catch up.
+
+        In-memory documents are re-materialized from the storage backend
+        (last persisted state), protocol structures are rebuilt, and — once
+        back on the network — every replicated document this site does not
+        lead is caught up from its current primary by log replay (or
+        snapshot transfer when the logs diverged). A deposed primary comes
+        back as a secondary: the epoch bump that accompanied its
+        replacement keeps it deposed.
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self.incarnation += 1
+        self.stats.recoveries += 1
+        for name in self.data_manager.live_documents():
+            doc, _ = self.data_manager.reload(name)
+            self.protocol.register_document(doc)
+        if self.faults is not None:
+            self.faults.on_site_recovered(self.site_id)
+        else:
+            self.network.set_up(self.site_id)
+        self.env.process(self._recovery_catchup())
+
+    def _recovery_catchup(self):
+        yield self.env.timeout(self.costs.scheduler_dispatch_ms)
+        for name in sorted(self.data_manager.live_documents()):
+            if not self.alive:
+                return
+            if not self.catalog.has_document(name):
+                continue
+            rset = self.catalog.replica_set(name)
+            if not rset.is_replicated or rset.primary == self.site_id:
+                continue
+            # A primary can transiently be unable to answer (mid-election,
+            # in-flight log holes): retry a few times rather than staying
+            # stale until the next sync happens to trigger gap healing.
+            for _ in range(4):
+                caught_up = yield from self._catch_up(name)
+                if caught_up or not self.alive:
+                    break
+                yield self.env.timeout(self.config.catchup_timeout_ms / 4)
+                if not self.alive:
+                    return
+                rset = self.catalog.replica_set(name)
+                if rset.primary == self.site_id:
+                    break
+
+    def _on_site_down(self, down: Hashable) -> None:
+        """React to the failure monitor's crash announcement.
+
+        Three duties: void coordinated transactions that executed state at
+        the dead site (their locks and effects died with it), unstick
+        coordinators waiting on responses/acks/locks from it, and settle
+        orphaned transactions the dead site coordinated — commit when
+        their updates were already replicated (an undo would diverge from
+        the synced secondaries), abort otherwise.
+        """
+        if not self.alive or down == self.site_id:
+            return
+        if self.detector is not None:
+            self.detector.on_site_down(down)
+        for rec in list(self.coordinators.values()):
+            if down in rec.executed_sites and not rec.tx.done:
+                rec.abort_requested = True
+                rec.abort_reason = rec.abort_reason or "participant-crashed"
+            if (
+                rec.response_event is not None
+                and down in rec.expected
+                and down not in rec.responses
+            ):
+                rec.expected.discard(down)
+                if (
+                    not rec.response_event.triggered
+                    and set(rec.responses) >= rec.expected
+                ):
+                    rec.response_event.succeed(dict(rec.responses))
+            if rec.ack_event is not None and rec.drop_site_from_acks(down):
+                if not rec.ack_event.triggered and set(rec.acks) >= rec.ack_expected:
+                    rec.ack_event.succeed(dict(rec.acks))
+            # Any lock the dead site held is gone: retry waiting work.
+            self._wake_coordinator(rec.tid)
+        for tid, ctx in list(self.tx_contexts.items()):
+            if ctx.coordinator != down or tid in self.coordinators:
+                continue
+            if ctx.synced:
+                self._commit_at_site(tid)
+            else:
+                self._abort_at_site(tid)
+            self.stats.orphans_resolved += 1
+
+    def _on_site_up(self, up: Hashable) -> None:
+        """A site recovered: if it leads a document we replicate, nudge our
+        catch-up — its outage may have swallowed our earlier attempts."""
+        if not self.alive or up == self.site_id:
+            return
+        for name in self.data_manager.live_documents():
+            if not self.catalog.has_document(name):
+                continue
+            rset = self.catalog.replica_set(name)
+            if rset.is_replicated and rset.primary == up and self.site_id in rset:
+                self.nudge_catch_up(name)
+
+    # ------------------------------------------------------------------
+    # update-log catch-up (recovery and gap healing)
+    # ------------------------------------------------------------------
+
+    def nudge_catch_up(self, doc_name: str) -> None:
+        """Reconcile one document with its current primary, asynchronously.
+
+        The anti-entropy entry point used by the failure monitor after a
+        promotion and by SiteUpNotice handling; a no-op when this site is
+        already caught up (the catch-up response carries no entries)."""
+        def _run():
+            yield self.env.timeout(self.costs.scheduler_dispatch_ms)
+            if self.alive:
+                yield from self._catch_up(doc_name)
+        self.env.process(_run())
+
+    def _catch_up(self, doc_name: str, force_snapshot: bool = False):
+        """Close this replica's log gap from the current primary.
+
+        Sends a CatchUpRequest describing the local log tip and applies
+        the response — the missing log suffix, or a full snapshot when the
+        tips diverged (this replica applied batches of a deposed primary).
+        ``force_snapshot`` requests the snapshot outright, and replay
+        escalates to it on its own when it finds a *phantom* (a local
+        entry whose LSN the new timeline reused under a newer epoch).
+        Serialized per document through ``_catchup_gates``; bounded by
+        ``config.catchup_timeout_ms`` so a primary crashing mid-catch-up
+        cannot wedge this site. Returns True when a primary response was
+        received and fully processed (the log may still have commuting
+        holes).
+        """
+        gate = self._catchup_gates.get(doc_name)
+        if gate is not None:
+            yield gate  # another catch-up is in flight; ride on it
+            return False
+        rset = self.catalog.replica_set(doc_name)
+        primary = rset.primary
+        if primary == self.site_id or not self.network.is_up(primary):
+            return False
+        gate = self.env.event()
+        self._catchup_gates[doc_name] = gate
+        try:
+            for _ in range(2):  # second round only to escalate to snapshot
+                log = self.log_for(doc_name)
+                self._catchup_seq += 1
+                req_id = self._catchup_seq
+                waiter = self.env.event()
+                self._catchup_waiters[req_id] = waiter
+                self.network.send(
+                    self.site_id,
+                    primary,
+                    CatchUpRequest(
+                        doc_name=doc_name,
+                        requester=self.site_id,
+                        req_id=req_id,
+                        after_lsn=log.applied_lsn,
+                        # The sentinel epoch never matches: the primary's
+                        # divergence branch answers with a snapshot.
+                        last_epoch=-1 if force_snapshot else log.last_epoch,
+                    ),
+                )
+                timeout_ev = self.env.timeout(self.config.catchup_timeout_ms, value=None)
+                fired = yield self.env.any_of([waiter, timeout_ev])
+                self._catchup_waiters.pop(req_id, None)
+                if not self.alive:
+                    return False
+                resp = fired.get(waiter)
+                if resp is None or not resp.ok:
+                    return False  # timed out / primary mid-election: retry later
+                cost = self.costs.scheduler_dispatch_ms
+                if resp.snapshot is not None:
+                    cost += self._install_snapshot(doc_name, resp)
+                    self.stats.catchup_snapshots += 1
+                replayed = 0
+                phantom = False
+                for entry in resp.entries:
+                    log = self.log_for(doc_name)
+                    existing = log.entries.get(entry.lsn)
+                    if existing is not None and existing.epoch != entry.epoch:
+                        # Local phantom occupies this slot with a deposed
+                        # timeline's data: replay cannot reconcile.
+                        phantom = True
+                        break
+                    if log.has(entry.lsn):
+                        continue  # already applied (e.g. by a concurrent sync)
+                    cost += self._apply_log_entry(entry)
+                    replayed += 1
+                self.stats.catchup_entries_replayed += replayed
+                self.stats.catchups += 1
+                yield self.env.timeout(cost)
+                if not phantom:
+                    return True
+                if not self.alive or force_snapshot:
+                    return False
+                force_snapshot = True  # escalate: full state transfer
+            return False
+        finally:
+            self._catchup_gates.pop(doc_name, None)
+            if not gate.triggered:
+                gate.succeed(None)
+
+    def _install_snapshot(self, doc_name: str, resp: CatchUpResponse) -> float:
+        """Replace the local replica with the primary's serialized state."""
+        doc = parse_document(resp.snapshot, name=doc_name)
+        self._stable.pop(doc_name, None)  # live tree is committed state again
+        self.data_manager.replace(doc)
+        self.protocol.register_document(doc)
+        persisted = self.data_manager.persist(doc_name)
+        self.log_for(doc_name).reset_to_snapshot(resp.snapshot_lsn, resp.snapshot_epoch)
+        return (
+            (len(resp.snapshot) / 1024.0) * self.costs.parse_per_kb_ms
+            + (persisted / 1024.0) * self.costs.persist_per_kb_ms
+        )
+
+    def _handle_catchup_request(self, msg: CatchUpRequest):
+        if not self.alive:
+            return
+        yield self.env.timeout(self.costs.scheduler_dispatch_ms)
+        if not self.alive:
+            return
+        doc_name = msg.doc_name
+        log = self.log_for(doc_name)
+        known_epoch = log.epoch_at(msg.after_lsn)
+        if self.catalog.replica_set(doc_name).primary != self.site_id:
+            # Mid-failover race: the requester asked a site that is not
+            # (or no longer) the primary. Tell it to retry later.
+            resp = CatchUpResponse(doc_name=doc_name, req_id=msg.req_id, ok=False)
+        elif (
+            log.can_serve_after(msg.after_lsn)
+            and known_epoch is not None
+            and known_epoch == msg.last_epoch
+        ):
+            # Same timeline: serve the gapless run directly above the
+            # requester's tip. Entries past this log's own first hole (a
+            # racing batch still in flight to us) are withheld — the
+            # requester heals them on a later trigger.
+            resp = CatchUpResponse(
+                doc_name=doc_name,
+                req_id=msg.req_id,
+                entries=list(log.contiguous_entries_after(msg.after_lsn)),
+            )
+        elif log.applied_lsn != log.max_recorded_lsn:
+            # Divergence calls for a snapshot, but with in-flight holes the
+            # persisted state has no single LSN to stamp it with. Holes
+            # close within a round trip; the requester retries.
+            resp = CatchUpResponse(doc_name=doc_name, req_id=msg.req_id, ok=False)
+        else:
+            # The requester's log tip is not on this primary's timeline
+            # (phantom entries applied under a deposed primary, or a tip
+            # older than this log's own snapshot base): ship full state —
+            # the *persisted* state, i.e. exactly the committed batches
+            # this hole-free log covers.
+            resp = CatchUpResponse(
+                doc_name=doc_name,
+                req_id=msg.req_id,
+                snapshot=serialize_document(self.data_manager.backend.load(doc_name)),
+                snapshot_lsn=log.applied_lsn,
+                snapshot_epoch=log.last_epoch,
+            )
+        self.network.send(self.site_id, msg.requester, resp)
+
+    def _on_catchup_response(self, msg: CatchUpResponse) -> None:
+        waiter = self._catchup_waiters.pop(msg.req_id, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(msg)
+
+    # ------------------------------------------------------------------
+    # lazy propagation (replica_write_policy="lazy")
+    # ------------------------------------------------------------------
+
+    def _log_and_queue_lazy(self, tid: TxId, ctx: SiteTxContext) -> None:
+        """Log this site's committed updates and queue their propagation.
+
+        Called from ``_commit_at_site`` while the transaction's locks are
+        still held, so per-document log order equals commit order. Only
+        replicated documents whose *current* primary is this site are
+        logged — under lazy routing that is exactly where updates execute.
+        """
+        for doc_name, ops in ctx.executed_updates_by_doc().items():
+            rset = self.catalog.replica_set(doc_name)
+            if rset.primary != self.site_id or not rset.is_replicated:
+                continue
+            entry = UpdateLogEntry(
+                lsn=self.catalog.allocate_lsn(doc_name),
+                epoch=self.catalog.epoch(doc_name),
+                tid=tid,
+                doc_name=doc_name,
+                ops=tuple(ops),
+            )
+            self.log_for(doc_name).record(entry)
+            self.env.process(self._lazy_propagate(entry))
+
+    def _lazy_propagate(self, entry: UpdateLogEntry):
+        """Push one committed batch to the live secondaries, later.
+
+        Fire-and-forget after the configured staleness delay: a secondary
+        that misses the batch (down, or refusing) heals through gap
+        catch-up; a crash of this primary inside the delay is the lazy
+        regime's documented loss window (the log survives on disk, but the
+        promoted successor does not have the batch).
+        """
+        yield self.env.timeout(self.config.lazy_staleness_ms)
+        if not self.alive:
+            return
+        rset = self.catalog.replica_set(entry.doc_name)
+        if rset.primary != self.site_id or entry.epoch < self.catalog.epoch(entry.doc_name):
+            return  # deposed while the batch waited: fenced
+        for target in rset.secondaries:
+            if not self.network.is_up(target):
+                continue
+            self.network.send(
+                self.site_id,
+                target,
+                ReplicaSyncRequest(
+                    tid=entry.tid,
+                    coordinator=self.site_id,
+                    doc_name=entry.doc_name,
+                    lsn=entry.lsn,
+                    epoch=entry.epoch,
+                    ops=list(entry.ops),
+                ),
+            )
+            self.stats.lazy_batches_propagated += 1

@@ -16,10 +16,13 @@ from .fragmentation import (
     is_fragment_of,
 )
 from .replication import (
+    PRIMARY_COPY_POLICIES,
     READ_POLICIES,
     WRITE_POLICIES,
     ReplicaSet,
     ReplicationPolicy,
+    UpdateLog,
+    UpdateLogEntry,
     replica_placement,
 )
 
@@ -28,9 +31,12 @@ __all__ = [
     "Catalog",
     "Fragment",
     "FragmentationPlan",
+    "PRIMARY_COPY_POLICIES",
     "READ_POLICIES",
     "ReplicaSet",
     "ReplicationPolicy",
+    "UpdateLog",
+    "UpdateLogEntry",
     "WRITE_POLICIES",
     "allocate_explicit",
     "allocate_partial",

@@ -18,6 +18,14 @@ from .replication import ReplicaSet
 class Catalog:
     def __init__(self) -> None:
         self._placement: dict[str, tuple[Hashable, ...]] = {}
+        # Primary-election epoch per document: bumped on every primary
+        # change, carried by replica-sync traffic, and used to fence
+        # deposed primaries (a sync stamped with an older epoch is refused).
+        self._epochs: dict[str, int] = {}
+        # Per-document LSN allocator. Allocation happens while the
+        # document's primary-copy write locks are held, so LSN order equals
+        # commit order and per-document LSNs are gapless.
+        self._next_lsn: dict[str, int] = {}
 
     def add(self, doc_name: str, site_ids: Iterable[Hashable]) -> None:
         sites = tuple(site_ids)
@@ -58,7 +66,11 @@ class Catalog:
         return ReplicaSet(doc_name=doc_name, primary=sites[0], secondaries=sites[1:])
 
     def set_primary(self, doc_name: str, site_id: Hashable) -> None:
-        """Promote ``site_id`` to primary by reordering the placement."""
+        """Promote ``site_id`` to primary by reordering the placement.
+
+        Every primary change increments the document's epoch — the
+        deterministic fencing rule replica-sync traffic is checked against.
+        """
         sites = self.sites_for(doc_name)
         if site_id not in sites:
             raise DistributionError(
@@ -68,6 +80,37 @@ class Catalog:
             site_id,
             *[s for s in sites if s != site_id],
         )
+        self._epochs[doc_name] = self.epoch(doc_name) + 1
+
+    # -- epochs and log sequence numbers -----------------------------------
+
+    def epoch(self, doc_name: str) -> int:
+        """Current primary-election epoch of ``doc_name`` (0 = never elected)."""
+        return self._epochs.get(doc_name, 0)
+
+    def allocate_lsn(self, doc_name: str) -> int:
+        """Hand out the next log sequence number for ``doc_name``.
+
+        Called only while the document's primary-copy write locks are held,
+        which serializes allocations with commits (in a real deployment this
+        counter lives at the primary; the shared catalog stands in for that
+        RPC the same way it stands in for placement lookups).
+        """
+        lsn = self._next_lsn.get(doc_name, 0) + 1
+        self._next_lsn[doc_name] = lsn
+        return lsn
+
+    def reset_lsn(self, doc_name: str, from_lsn: int) -> None:
+        """Restart the LSN sequence after a promotion.
+
+        The new primary may not have seen the deposed primary's tail; the
+        next allocation continues above everything the new primary has
+        *recorded* (its compacted log tip), so no slot it already holds is
+        re-allocated at the serving primary — orphaned tail entries
+        elsewhere are fenced by the epoch bump that accompanied the
+        promotion and healed by snapshot transfer on contact.
+        """
+        self._next_lsn[doc_name] = from_lsn
 
     def replication_degree(self, doc_name: str) -> int:
         return len(self.sites_for(doc_name))

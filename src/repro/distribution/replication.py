@@ -30,17 +30,35 @@ commit order — `repro.verify.serial` validates this per replica). Reads at
 reads of the same transaction: replica reads are READ COMMITTED, not
 repeatable. Route reads to the primary (``read_policy="primary"``) when a
 workload needs fully serializable reads.
+
+A third write regime, ``write_policy="lazy"``, commits at the primary
+*without* waiting for the secondaries: the primary appends the committed
+updates to its durable :class:`UpdateLog` while its locks are still held
+(so log order equals commit order) and propagates them asynchronously
+after a configurable staleness delay. Lazy replication trades the eager
+regime's freshness for availability and commit latency: secondary reads may
+be stale by up to ``lazy_staleness_ms`` plus a network hop, and a primary
+crash can lose the committed-but-unpropagated tail of the log — the
+tradeoff the ``availability`` experiment measures.
+
+The :class:`UpdateLog` is also what crash recovery is built on: every
+replica (primary and secondaries alike) logs each applied update batch
+under a per-document log sequence number (LSN) assigned by the current
+primary's regime, so a recovering replica can ask the primary for the
+entries it missed, and a deposed primary can detect that its log diverged
+(same LSN, different epoch) and fall back to a snapshot transfer.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Hashable, Optional
 
 from ..errors import ConfigError, DistributionError
 
 READ_POLICIES = ("all", "primary", "random", "nearest")
-WRITE_POLICIES = ("all", "primary")
+WRITE_POLICIES = ("all", "primary", "lazy")
+PRIMARY_COPY_POLICIES = ("primary", "lazy")  # writes lock at the primary only
 
 
 @dataclass(frozen=True)
@@ -131,7 +149,7 @@ class ReplicationPolicy:
         """
         # The read-your-writes pin outranks every read policy: under
         # primary-copy writes only the primary has the update before commit.
-        if wrote_before and self.write_policy == "primary":
+        if wrote_before and self.write_policy in PRIMARY_COPY_POLICIES:
             return [rset.primary]
         if self.read_policy == "all":
             return list(rset.all_sites)
@@ -161,12 +179,149 @@ class ReplicationPolicy:
 
     @property
     def is_primary_copy(self) -> bool:
+        """Writes lock and execute at the primary only (eager or lazy)."""
+        return self.write_policy in PRIMARY_COPY_POLICIES
+
+    @property
+    def is_eager(self) -> bool:
+        """Secondaries are synchronized before the commit is acknowledged."""
         return self.write_policy == "primary"
+
+    @property
+    def is_lazy(self) -> bool:
+        """Commit at the primary immediately; propagate asynchronously."""
+        return self.write_policy == "lazy"
 
     def describe(self) -> str:
         return (
             f"factor={self.factor} read={self.read_policy} write={self.write_policy}"
         )
+
+
+@dataclass(frozen=True)
+class UpdateLogEntry:
+    """One committed update batch of one transaction on one document.
+
+    ``lsn`` is the per-document log sequence number assigned by the
+    primary's regime while the primary's write locks were still held, so
+    LSN order equals commit order and per-document LSNs are gapless.
+    ``epoch`` is the primary-election epoch the entry was produced under;
+    a recovering replica whose entry at some LSN carries a different epoch
+    than the current primary's knows its log diverged (it applied writes
+    of a deposed primary) and must fall back to a snapshot transfer.
+    """
+
+    lsn: int
+    epoch: int
+    tid: object
+    doc_name: str
+    ops: tuple = ()  # executed update Operations, transaction order
+
+    def payload_size(self) -> int:
+        return 24 + sum(op.payload_size() for op in self.ops)
+
+
+@dataclass
+class UpdateLog:
+    """The durable per-document redo log kept at every replica.
+
+    Modeled as persistent storage: a site crash wipes its in-memory
+    documents and lock tables but *not* its logs (nor the storage backend),
+    which is exactly what makes catch-up after recovery possible.
+    ``base_lsn``/``base_epoch`` describe the state the log starts from —
+    after a snapshot transfer the entries are discarded and the base is
+    moved forward, so the watermark stays meaningful.
+
+    Entries are keyed by LSN and may arrive **out of order**: conflicting
+    writers are serialized by the primary's lock table (their batches can
+    never race), but *non-conflicting* writers on the same document commit
+    — and therefore allocate LSNs and ship their batches — concurrently.
+    Their data effects commute (disjoint lock scopes), so replicas apply
+    them in arrival order; the log records them under their allocated LSNs
+    and ``applied_lsn`` reports the highest *contiguous* watermark, which
+    is what catch-up requests and promotion decisions are based on.
+    Transient holes above the watermark (batches still in flight) fill in
+    as their entries arrive.
+    """
+
+    doc_name: str
+    entries: dict = field(default_factory=dict)  # lsn -> UpdateLogEntry
+    base_lsn: int = 0
+    base_epoch: int = 0
+    # Maintained incrementally by record()/reset_to_snapshot so the
+    # hot-path reads below stay O(1) instead of re-walking the prefix.
+    _watermark: int = 0
+
+    def __post_init__(self) -> None:
+        self._watermark = max(self._watermark, self.base_lsn)
+        while self._watermark + 1 in self.entries:
+            self._watermark += 1
+
+    @property
+    def applied_lsn(self) -> int:
+        """Highest LSN such that every entry up to it is present."""
+        return self._watermark
+
+    @property
+    def last_epoch(self) -> int:
+        """Epoch at the contiguous watermark."""
+        tip = self.applied_lsn
+        entry = self.entries.get(tip)
+        return entry.epoch if entry is not None else self.base_epoch
+
+    @property
+    def max_recorded_lsn(self) -> int:
+        """Highest LSN recorded (equals ``applied_lsn`` iff hole-free)."""
+        return max(self.entries, default=self.base_lsn)
+
+    def has(self, lsn: int) -> bool:
+        """Whether ``lsn``'s batch is already incorporated here (recorded as
+        an entry, or subsumed by the snapshot base)."""
+        return lsn <= self.base_lsn or lsn in self.entries
+
+    def record(self, entry: UpdateLogEntry) -> None:
+        if self.has(entry.lsn):
+            raise DistributionError(
+                f"log of {self.doc_name!r}: lsn {entry.lsn} recorded twice"
+            )
+        self.entries[entry.lsn] = entry
+        while self._watermark + 1 in self.entries:
+            self._watermark += 1
+
+    def contiguous_entries_after(self, lsn: int) -> list:
+        """The gapless run of entries directly above ``lsn``, in LSN order.
+
+        What a primary serves to a catch-up request: entries above its own
+        first hole (a batch whose log-record is still in flight to it) are
+        withheld — the requester heals them on a later trigger.
+        """
+        out = []
+        next_lsn = lsn + 1
+        while next_lsn in self.entries:
+            out.append(self.entries[next_lsn])
+            next_lsn += 1
+        return out
+
+    def can_serve_after(self, lsn: int) -> bool:
+        """Entries ``> lsn`` are all present (``lsn`` predates no snapshot)."""
+        return lsn >= self.base_lsn
+
+    def epoch_at(self, lsn: int) -> Optional[int]:
+        """Epoch of the entry with ``lsn`` (``None`` when not in the log)."""
+        if lsn == self.base_lsn:
+            return self.base_epoch
+        entry = self.entries.get(lsn)
+        return entry.epoch if entry is not None else None
+
+    def reset_to_snapshot(self, lsn: int, epoch: int) -> None:
+        """Discard all entries: the document state now *is* ``lsn``."""
+        self.entries.clear()
+        self.base_lsn = lsn
+        self.base_epoch = epoch
+        self._watermark = lsn
+
+    def __len__(self) -> int:
+        return len(self.entries)
 
 
 def replica_placement(

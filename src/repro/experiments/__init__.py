@@ -1,5 +1,11 @@
 """The paper's evaluation: experiment runner, per-figure sweeps, checks."""
 
+from .availability import (
+    AvailabilitySweepParams,
+    AvailabilitySweepResult,
+    availability_sweep,
+    check_availability_sweep,
+)
 from .figures import (
     BASE_DB_BYTES,
     SCALE,
@@ -23,8 +29,12 @@ from .report import check_fig9, check_fig10, check_fig11a, check_fig11b, check_f
 from .runner import ExperimentConfig, build_cluster, run_experiment
 
 __all__ = [
+    "AvailabilitySweepParams",
+    "AvailabilitySweepResult",
     "BASE_DB_BYTES",
     "ExperimentConfig",
+    "availability_sweep",
+    "check_availability_sweep",
     "Fig12Result",
     "Fig8Result",
     "FigureParams",

@@ -1,0 +1,221 @@
+"""Availability sweep: eager vs lazy replication under injected crashes.
+
+Not a figure of the paper — this is the experiment its synchronous regime
+cannot run at all: sites crash and recover *during* the workload. Under
+eager primary-copy ROWA every commit waits for all live secondaries, so a
+crash costs commit latency but never freshness; under lazy propagation the
+primary commits immediately and ships updates within the staleness bound,
+so throughput holds up but a crashed primary can take the committed-but-
+unpropagated tail of its log down with it.
+
+The sweep runs an (write regime × crash count) grid over one replicated
+workload. Each crash takes down the site leading the most documents (the
+worst case for the workload) and recovers it after a fixed outage; the
+failure monitor promotes the most-caught-up live secondary, coordinators
+re-route, and the recovered site catches up from the primaries' update
+logs. Reported per cell: committed throughput, abort/failure counts,
+promotions, catch-up activity, and how many replica pairs diverged at the
+end of the run (eager: must be zero once the cluster quiesced).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..config import SystemConfig
+from ..workload.generator import WorkloadSpec
+from ..xml.serializer import serialize_document
+from .runner import ExperimentConfig, build_cluster
+
+MODES = ("eager", "lazy")
+_MODE_TO_POLICY = {"eager": "primary", "lazy": "lazy"}
+
+
+@dataclass(frozen=True)
+class AvailabilitySweepParams:
+    modes: tuple = MODES
+    crash_counts: tuple = (0, 1, 2)
+    n_sites: int = 4
+    replication_factor: int = 3
+    n_clients: int = 9
+    tx_per_client: int = 5
+    ops_per_tx: int = 3
+    update_ratio: float = 0.4
+    protocol: str = "xdgl"
+    read_policy: str = "nearest"
+    db_bytes: int = 18_000
+    first_crash_ms: float = 6.0  # when the first crash fires
+    crash_spacing_ms: float = 8.0  # gap between consecutive crashes
+    outage_ms: float = 12.0  # how long each crashed site stays down
+    lazy_staleness_ms: float = 5.0
+    drain_ms: float = 80.0  # post-workload settle time (catch-up, lazy tail)
+
+    @classmethod
+    def dense(cls) -> "AvailabilitySweepParams":
+        return cls(
+            crash_counts=(0, 1, 2, 3),
+            n_clients=15,
+            tx_per_client=8,
+            ops_per_tx=4,
+        )
+
+    @classmethod
+    def from_env(cls) -> "AvailabilitySweepParams":
+        """``REPRO_FULL=1`` selects the denser sweep."""
+        return cls.dense() if os.environ.get("REPRO_FULL") == "1" else cls()
+
+
+@dataclass
+class AvailabilitySweepResult:
+    params: AvailabilitySweepParams = field(default_factory=AvailabilitySweepParams)
+    # (mode, crash_count) -> dict of metrics
+    cells: dict = field(default_factory=dict)
+
+    def metric(self, mode: str, crashes: int, name: str):
+        return self.cells[(mode, crashes)][name]
+
+    def render(self, metric: str = "tx_per_s", fmt: str = "{:9.2f}") -> str:
+        header = f"availability sweep — {metric} (crashes target the busiest primary)"
+        lines = [header, "mode \\ crashes  " + "  ".join(
+            f"{c:>9d}" for c in self.params.crash_counts
+        )]
+        for mode in self.params.modes:
+            row = [f"{mode:>6s}        "]
+            for c in self.params.crash_counts:
+                row.append(fmt.format(self.cells[(mode, c)][metric]))
+            lines.append("  ".join(row))
+        return "\n".join(lines)
+
+
+def _crash_targets(cluster, count: int) -> list:
+    """The sites to crash, busiest primary first, round-robin thereafter.
+
+    Deterministic: sites are ranked by how many documents they lead (ties
+    broken by site id), and crash k hits rank k modulo the ranking.
+    """
+    catalog = cluster.catalog
+    primaries: dict = {}
+    for doc_name in catalog.all_documents():
+        rset = catalog.replica_set(doc_name)
+        if rset.is_replicated:
+            primaries[rset.primary] = primaries.get(rset.primary, 0) + 1
+    ranked = sorted(primaries, key=lambda s: (-primaries[s], str(s)))
+    if not ranked:
+        ranked = sorted(cluster.sites, key=str)
+    return [ranked[k % len(ranked)] for k in range(count)]
+
+
+def _divergent_pairs(cluster) -> int:
+    """Replica pairs whose serialized document states differ at run end."""
+    divergent = 0
+    for doc_name in cluster.catalog.all_documents():
+        rset = cluster.catalog.replica_set(doc_name)
+        if not rset.is_replicated:
+            continue
+        texts = {
+            site: serialize_document(cluster.document_at(site, doc_name))
+            for site in rset.all_sites
+        }
+        reference = texts[rset.primary]
+        divergent += sum(1 for site, text in texts.items() if text != reference)
+    return divergent
+
+
+def availability_sweep(
+    params: AvailabilitySweepParams | None = None,
+) -> AvailabilitySweepResult:
+    """Run the (mode x crash count) grid; one cell per configuration."""
+    params = params or AvailabilitySweepParams.from_env()
+    out = AvailabilitySweepResult(params=params)
+    for mode in params.modes:
+        system = SystemConfig().with_(
+            client_think_ms=1.0,
+            replication_factor=params.replication_factor,
+            replica_read_policy=params.read_policy,
+            replica_write_policy=_MODE_TO_POLICY[mode],
+            lazy_staleness_ms=params.lazy_staleness_ms,
+            # Safety valve: a transaction stuck behind a crash-orphaned
+            # lock times out and retries instead of wedging the run.
+            lock_wait_timeout_ms=200.0,
+            max_restarts=2,
+        )
+        for crashes in params.crash_counts:
+            cfg = ExperimentConfig(
+                protocol=params.protocol,
+                n_sites=params.n_sites,
+                replication="partial",
+                db_bytes=params.db_bytes,
+                workload=WorkloadSpec(
+                    n_clients=params.n_clients,
+                    tx_per_client=params.tx_per_client,
+                    ops_per_tx=params.ops_per_tx,
+                    update_tx_ratio=params.update_ratio,
+                ),
+                system=system,
+                label=f"availability/{mode}/c{crashes}",
+            )
+            cluster, _ = build_cluster(cfg)
+            next_free: dict = {}
+            for k, site_id in enumerate(_crash_targets(cluster, crashes)):
+                at = params.first_crash_ms + k * params.crash_spacing_ms
+                # A repeated target (few distinct primaries) must not be
+                # scheduled to crash while still down from its previous
+                # outage — that crash would no-op and skew the counters.
+                at = max(at, next_free.get(site_id, 0.0))
+                cluster.schedule_crash(site_id, at, at + params.outage_ms)
+                next_free[site_id] = at + params.outage_ms + 1.0
+            result = cluster.run(label=cfg.label, drain_ms=params.drain_ms)
+            duration_s = max(result.duration_ms, 1e-9) / 1000.0
+            site_stats = result.site_stats.values()
+            out.cells[(mode, crashes)] = {
+                "committed": len(result.committed),
+                "aborted": len(result.aborted),
+                "failed": len(result.failed),
+                "tx_per_s": len(result.committed) / duration_s,
+                "response_ms": result.mean_response_ms(),
+                "messages": result.network_messages,
+                "promotions": result.promotions,
+                "crashes": result.site_crashes,
+                "recoveries": result.site_recoveries,
+                "catchups": sum(s.catchups for s in site_stats),
+                "catchup_entries": sum(
+                    s.catchup_entries_replayed for s in site_stats
+                ),
+                "divergent_replicas": _divergent_pairs(cluster),
+            }
+    return out
+
+
+def check_availability_sweep(result: AvailabilitySweepResult) -> list[str]:
+    """Shape checks: faults fired, failover worked, eager stayed consistent."""
+    notes: list[str] = []
+    params = result.params
+    for (mode, crashes), cell in result.cells.items():
+        expected = params.n_clients * params.tx_per_client
+        assert cell["committed"] + cell["aborted"] + cell["failed"] <= expected
+        assert cell["crashes"] == crashes, (
+            f"{mode}/c{crashes}: scheduled {crashes} crashes, saw {cell['crashes']}"
+        )
+        assert cell["recoveries"] == crashes
+        if crashes:
+            assert cell["promotions"] >= 1, (
+                f"{mode}/c{crashes}: primary crashed but nothing was promoted"
+            )
+        if mode == "eager":
+            assert cell["divergent_replicas"] == 0, (
+                f"eager/c{crashes}: {cell['divergent_replicas']} replicas "
+                f"diverged after quiesce"
+            )
+    if "eager" in params.modes and "lazy" in params.modes:
+        for crashes in params.crash_counts:
+            eager = result.metric("eager", crashes, "committed")
+            lazy = result.metric("lazy", crashes, "committed")
+            notes.append(
+                f"crashes={crashes}: committed eager={eager} lazy={lazy}; "
+                f"divergent replicas eager="
+                f"{result.metric('eager', crashes, 'divergent_replicas')} "
+                f"lazy={result.metric('lazy', crashes, 'divergent_replicas')}"
+            )
+    notes.append(f"{len(result.cells)} cells, transaction accounting consistent")
+    return notes

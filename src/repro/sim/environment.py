@@ -56,6 +56,22 @@ class Environment:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    def schedule_call(self, delay: float, fn, *args) -> Event:
+        """Invoke ``fn(*args)`` after ``delay`` simulated units.
+
+        The kernel-level hook fault schedules are built on: crashing or
+        recovering a site at an absolute point of the simulation must not
+        depend on any process being runnable at that site.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative schedule_call delay {delay!r}")
+        ev = Event(self)
+        ev.callbacks.append(lambda _ev: fn(*args))
+        ev._ok = True
+        ev._value = None
+        self._schedule(ev, delay)
+        return ev
+
     # -- execution --------------------------------------------------------------
 
     def step(self) -> None:

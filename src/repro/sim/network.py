@@ -29,6 +29,7 @@ class NetworkStats:
     bytes: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
     local_messages: int = 0
+    dropped: int = 0  # messages lost to crashed endpoints
 
     def record(self, kind: str, size: int, local: bool) -> None:
         self.messages += 1
@@ -44,6 +45,7 @@ class Network:
         self.config = config
         self._inboxes: dict[Hashable, Store] = {}
         self._rng = substream(seed, "network")
+        self._down: set = set()
         self.stats = NetworkStats()
 
     # -- topology -----------------------------------------------------------
@@ -64,6 +66,18 @@ class Network:
     @property
     def site_ids(self) -> list:
         return list(self._inboxes)
+
+    # -- liveness -----------------------------------------------------------
+
+    def set_down(self, site_id: Hashable) -> None:
+        """Partition ``site_id`` off: its sends and deliveries are dropped."""
+        self._down.add(site_id)
+
+    def set_up(self, site_id: Hashable) -> None:
+        self._down.discard(site_id)
+
+    def is_up(self, site_id: Hashable) -> bool:
+        return site_id not in self._down
 
     # -- transmission ----------------------------------------------------------
 
@@ -89,6 +103,11 @@ class Network:
         Returns the delay used (tests assert on it). ``size_bytes`` defaults
         to ``payload.size_bytes()`` when the payload provides it.
         """
+        if src in self._down or dst in self._down:
+            # A crashed endpoint neither transmits nor receives; the message
+            # silently disappears (timeouts / failure notices recover).
+            self.stats.dropped += 1
+            return 0.0
         inbox = self.inbox(dst)
         if size_bytes is None:
             size_bytes = getattr(payload, "size_bytes", lambda: 64)()
@@ -97,6 +116,11 @@ class Network:
         self.stats.record(kind, size_bytes, local=(src == dst))
 
         def deliver(_ev) -> None:
+            # Re-check at delivery time: the destination may have crashed
+            # while the message was in flight.
+            if dst in self._down:
+                self.stats.dropped += 1
+                return
             inbox.put(payload)
 
         ev = self.env.event()

@@ -36,6 +36,17 @@ class Store:
             self._getters.append(ev)
         return ev
 
+    def clear(self) -> int:
+        """Discard all buffered items (a crashed site loses its queues).
+
+        Waiting getters are left registered: the owning process keeps
+        blocking until the site receives traffic again. Returns the number
+        of items dropped.
+        """
+        dropped = len(self._items)
+        self._items.clear()
+        return dropped
+
     def __len__(self) -> int:
         return len(self._items)
 

@@ -72,3 +72,19 @@ class DataManager:
     def evict(self, name: str) -> None:
         """Drop the live copy (storage keeps the last persisted state)."""
         self._live.pop(name, None)
+
+    def reload(self, name: str) -> tuple[Document, int]:
+        """Discard the live copy and re-materialize from storage.
+
+        Crash recovery: whatever was in memory is gone; the last persisted
+        state is what the site restarts from.
+        """
+        self._live.pop(name, None)
+        return self.load(name)
+
+    def replace(self, doc: Document) -> None:
+        """Swap in a new live instance for an already-hosted document
+        (snapshot transfer during catch-up)."""
+        if doc.name not in self._live:
+            raise StorageError(f"document {doc.name!r} is not hosted here")
+        self._live[doc.name] = doc

@@ -1,10 +1,54 @@
-"""Shared fixtures: the paper's example documents and small helpers."""
+"""Shared fixtures: the paper's example documents and small helpers.
+
+Also registers the Hypothesis profiles:
+
+* ``default`` — the per-test example counts as written (fast local runs);
+* ``ci`` — same counts, but no deadline (shared runners are jittery);
+* ``nightly`` — a raised example budget: ``example_budget(n)`` scales every
+  per-test count by ``REPRO_NIGHTLY_SCALE`` (default 10x), and deadlines
+  are disabled. Select with ``--hypothesis-profile=nightly``.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings as hyp_settings
 
 from repro.xml import E, doc, parse_document
+
+hyp_settings.register_profile("default", hyp_settings())
+hyp_settings.register_profile("ci", hyp_settings(deadline=None))
+hyp_settings.register_profile(
+    "nightly", hyp_settings(deadline=None, print_blob=True)
+)
+
+_EXAMPLE_SCALE = 1.0
+
+
+def pytest_configure(config) -> None:
+    """Scale property-test example budgets when the nightly profile runs.
+
+    Explicit ``@settings(max_examples=...)`` decorators override whatever a
+    profile says, so the budget has to be raised where the counts are
+    written: test modules call :func:`example_budget` inside their
+    decorators, and this hook (which runs before test modules import) sets
+    the multiplier from the selected Hypothesis profile.
+    """
+    global _EXAMPLE_SCALE
+    try:
+        profile = config.getoption("hypothesis_profile")
+    except (ValueError, KeyError):  # hypothesis plugin not active
+        profile = None
+    profile = profile or os.environ.get("HYPOTHESIS_PROFILE")
+    if profile == "nightly":
+        _EXAMPLE_SCALE = float(os.environ.get("REPRO_NIGHTLY_SCALE", "10"))
+
+
+def example_budget(n: int) -> int:
+    """Per-test max_examples, scaled up under the nightly profile."""
+    return max(1, int(n * _EXAMPLE_SCALE))
 
 
 def make_people_doc(name: str = "d1"):

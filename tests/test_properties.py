@@ -20,7 +20,7 @@ from repro.verify import final_state_serializable
 from repro.workload import DTXTester, WorkloadSpec
 from repro.xml import Document, E, Element, doc, parse_document, serialize_document
 
-from .conftest import make_people_doc, make_products_doc
+from .conftest import example_budget, make_people_doc, make_products_doc
 
 # ---------------------------------------------------------------------------
 # strategies
@@ -63,26 +63,26 @@ def documents(draw):
 
 class TestXMLRoundTrip:
     @given(documents())
-    @settings(max_examples=80)
+    @settings(max_examples=example_budget(80))
     def test_serialize_parse_roundtrip(self, document):
         text = serialize_document(document)
         reparsed = parse_document(text)
         assert serialize_document(reparsed) == text
 
     @given(documents())
-    @settings(max_examples=40)
+    @settings(max_examples=example_budget(40))
     def test_pretty_and_compact_forms_agree(self, document):
         pretty = serialize_document(document, indent=2)
         compact = serialize_document(document)
         assert serialize_document(parse_document(pretty)) == compact
 
     @given(documents())
-    @settings(max_examples=40)
+    @settings(max_examples=example_budget(40))
     def test_clone_preserves_serialization(self, document):
         assert serialize_document(document.clone()) == serialize_document(document)
 
     @given(documents())
-    @settings(max_examples=40)
+    @settings(max_examples=example_budget(40))
     def test_size_bytes_tracks_serialized_size(self, document):
         approx = document.size_bytes()
         actual = len(serialize_document(document))
@@ -129,7 +129,7 @@ def update_ops(draw):
 
 class TestDataGuideProperties:
     @given(st.lists(update_ops(), min_size=1, max_size=8))
-    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    @settings(max_examples=example_budget(60), suppress_health_check=[HealthCheck.too_slow])
     def test_guide_stays_synced_under_random_updates(self, ops):
         document = _base_doc()
         guide = DataGuide.build(document)
@@ -140,7 +140,7 @@ class TestDataGuideProperties:
         guide.validate_against(document)
 
     @given(st.lists(update_ops(), min_size=1, max_size=8))
-    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    @settings(max_examples=example_budget(60), suppress_health_check=[HealthCheck.too_slow])
     def test_rollback_restores_document_and_guide(self, ops):
         # Mirrors DTXSite._abort_at_site: each operation's data rollback is
         # immediately followed by its guide re-sync (undo_change inspects the
@@ -172,18 +172,18 @@ class TestDataGuideProperties:
 class TestLockMatrixProperties:
     @given(st.lists(st.sampled_from(list(LockMode)), min_size=1, max_size=4),
            st.sampled_from(list(LockMode)))
-    @settings(max_examples=100)
+    @settings(max_examples=example_budget(100))
     def test_compatible_with_all_is_conjunction(self, held, requested):
         expected = all(XDGL_MATRIX.compatible(h, requested) for h in held)
         assert XDGL_MATRIX.compatible_with_all(held, requested) == expected
 
     @given(st.sampled_from(list(LockMode)), st.sampled_from(list(LockMode)))
-    @settings(max_examples=100)
+    @settings(max_examples=example_budget(100))
     def test_symmetry(self, a, b):
         assert XDGL_MATRIX.compatible(a, b) == XDGL_MATRIX.compatible(b, a)
 
     @given(st.sampled_from(list(LockMode)))
-    @settings(max_examples=20)
+    @settings(max_examples=example_budget(20))
     def test_exclusives_block_everything(self, mode):
         assert not XDGL_MATRIX.compatible(LockMode.X, mode)
         assert not XDGL_MATRIX.compatible(LockMode.XT, mode)
@@ -196,7 +196,7 @@ class TestLockMatrixProperties:
 
 class TestWfgProperties:
     @given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=25))
-    @settings(max_examples=100)
+    @settings(max_examples=example_budget(100))
     def test_reported_cycle_is_a_real_cycle(self, edge_list):
         g = WaitForGraph()
         for a, b in edge_list:
@@ -212,7 +212,7 @@ class TestWfgProperties:
         st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=12),
         st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=12),
     )
-    @settings(max_examples=100)
+    @settings(max_examples=example_budget(100))
     def test_union_contains_both_edge_sets(self, e1, e2):
         g1, g2 = WaitForGraph.from_edges(e1), WaitForGraph.from_edges(e2)
         merged = g1.union(g2)
@@ -220,7 +220,7 @@ class TestWfgProperties:
         assert set(merged.edges()) == expected
 
     @given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=25))
-    @settings(max_examples=60)
+    @settings(max_examples=example_budget(60))
     def test_acyclic_after_removing_cycle_nodes_eventually(self, edge_list):
         g = WaitForGraph.from_edges(edge_list)
         for _ in range(20):
@@ -273,7 +273,7 @@ class TestReplicatedSerializability:
         update_ratio=st.sampled_from([0.3, 0.6, 1.0]),
     )
     @settings(
-        max_examples=12,
+        max_examples=example_budget(12),
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow],
     )
@@ -326,7 +326,7 @@ class TestReplicatedSerializability:
 
 class TestFragmentationProperties:
     @given(flat_documents(), st.integers(1, 5))
-    @settings(max_examples=60)
+    @settings(max_examples=example_budget(60))
     def test_fragments_partition_without_loss(self, document, k):
         n_children = len(document.root.children)
         if k > n_children:
