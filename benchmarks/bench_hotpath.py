@@ -1,0 +1,74 @@
+"""Hot-path sweep — wake policy x group-commit window.
+
+Drives the *experiment runner* (the same `ExperimentConfig` machinery as
+the figure sweeps) across both `wake_policy` settings and a group-commit
+window grid, so the hot-path knobs are exercised end-to-end on a
+realistic replicated XMark workload — not just on the trajectory
+harness's synthetic probes. The trajectory harness
+(`python -m repro bench`) remains the canonical BENCH_<n>.json yardstick;
+this sweep rides the normal pytest-benchmark CI job.
+"""
+
+from repro.config import SystemConfig
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.workload import WorkloadSpec
+
+from .conftest import run_once
+
+WAKE_POLICIES = ("broadcast", "targeted")
+WINDOWS_MS = (0.0, 0.5)
+
+
+def _sweep():
+    out = {}
+    for wake_policy in WAKE_POLICIES:
+        for window in WINDOWS_MS:
+            cfg = ExperimentConfig(
+                protocol="xdgl",
+                n_sites=4,
+                replication="partial",
+                db_bytes=24_000,
+                workload=WorkloadSpec(
+                    n_clients=12, tx_per_client=4, ops_per_tx=4,
+                    update_tx_ratio=0.5,
+                ),
+                system=SystemConfig().with_(
+                    client_think_ms=0.2,
+                    replication_factor=3,
+                    replica_read_policy="nearest",
+                    replica_write_policy="primary",
+                    wake_policy=wake_policy,
+                    group_commit_window_ms=window,
+                ),
+                label=f"hotpath/{wake_policy}/w{window}",
+            )
+            out[(wake_policy, window)] = run_experiment(cfg)
+    return out
+
+
+def test_hotpath_sweep(benchmark):
+    runs = run_once(benchmark, _sweep)
+    print()
+    print("hot-path sweep (12 clients, 50% update txs, factor-3 primary-copy):")
+    for (wake_policy, window), run in runs.items():
+        wakes = sum(s.waiter_wakes for s in run.site_stats.values())
+        batches = sum(s.group_batches_sent for s in run.site_stats.values())
+        print(
+            f"  wake={wake_policy:9s} window={window:4.1f} ms: "
+            f"committed={len(run.committed):3d}  "
+            f"response={run.mean_response_ms():6.2f} ms  "
+            f"wakes={wakes:4d}  messages={run.network_messages:5d}  "
+            f"batches={batches}"
+        )
+    # Sanity: both policies complete the workload; targeted never wakes more.
+    for window in WINDOWS_MS:
+        done_b = len(runs[("broadcast", window)].committed)
+        done_t = len(runs[("targeted", window)].committed)
+        assert done_b > 0 and done_t > 0
+        wakes_b = sum(
+            s.waiter_wakes for s in runs[("broadcast", window)].site_stats.values()
+        )
+        wakes_t = sum(
+            s.waiter_wakes for s in runs[("targeted", window)].site_stats.values()
+        )
+        assert wakes_t <= wakes_b

@@ -1,14 +1,36 @@
 """Shared benchmark helpers.
 
-Figure benchmarks run whole experiment sweeps, so each is executed exactly
-once per session (``rounds=1``) — the numbers of interest are the *simulated*
-metrics printed in the tables, not the harness wall time. Set ``REPRO_FULL=1``
-for paper-density sweeps.
+Figure benchmarks run whole experiment sweeps, so each is executed once per
+session by default (``rounds=1``) — the numbers of interest are the
+*simulated* metrics printed in the tables, not the harness wall time. Set
+``REPRO_FULL=1`` for paper-density sweeps.
+
+``REPRO_BENCH_ROUNDS`` opts into real wall-clock statistics: it raises the
+pytest-benchmark round count so probes that *do* care about wall time (the
+trajectory harness and ad-hoc investigations) get variance instead of a
+single sample, without slowing the figure sweeps for everyone else.
 """
 
 from __future__ import annotations
 
+from repro.experiments.trajectory import bench_rounds as _bench_rounds
+
+
+def bench_rounds(default: int = 1) -> int:
+    """Rounds per benchmark: ``REPRO_BENCH_ROUNDS``, floored at ``default``.
+
+    Single source of truth for the env parsing lives with the trajectory
+    harness (which floors at 3 for its wall probes); the figure sweeps
+    floor at 1 so they stay single-shot unless explicitly asked.
+    """
+    return _bench_rounds(minimum=default)
+
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Run ``fn`` under pytest-benchmark and return its result.
+
+    Exactly once unless ``REPRO_BENCH_ROUNDS`` asks for more rounds.
+    """
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=bench_rounds(), iterations=1
+    )

@@ -1,0 +1,24 @@
+"""Benchmark trajectory harness — runnable entry point.
+
+The harness itself lives in :mod:`repro.experiments.trajectory` so the CLI
+(``python -m repro bench``) and the tests can import it without this
+directory on the path; this file is the canonical way to run it straight
+from a checkout::
+
+    PYTHONPATH=src python benchmarks/trajectory.py                # BENCH_<n>.json
+    PYTHONPATH=src python benchmarks/trajectory.py --features baseline
+    PYTHONPATH=src python benchmarks/trajectory.py --check        # CI regression gate
+
+Wall-clock probes honour ``REPRO_BENCH_ROUNDS`` (>= 3 enforced here) and
+report best-of-rounds; simulated metrics are fixed-seed deterministic. See
+``README.md`` § Performance for how to read the output files.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.trajectory import main
+
+if __name__ == "__main__":
+    sys.exit(main())

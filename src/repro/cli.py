@@ -9,6 +9,8 @@ Usage::
     python -m repro protocols               # list registered protocols
     python -m repro replication             # ROWA factor x read-ratio sweep
     python -m repro availability            # eager vs lazy under crashes
+    python -m repro bench                   # trajectory harness -> BENCH_<n>.json
+    python -m repro bench --check           # wall-clock regression gate (CI)
 """
 
 from __future__ import annotations
@@ -199,6 +201,22 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         "--crashes", nargs="+", type=int, default=None, metavar="N",
         help="crash counts to sweep (default: 0 1 2)",
     )
+
+    # The bench harness owns its own argparse surface (it is also runnable
+    # as benchmarks/trajectory.py); register a stub for --help discovery
+    # but dispatch before parsing so its flags are defined exactly once.
+    sub.add_parser(
+        "bench",
+        add_help=False,
+        help="run the benchmark trajectory harness (writes BENCH_<n>.json) "
+        "or, with --check, the wall-clock regression gate",
+    )
+
+    args_list = list(argv) if argv is not None else sys.argv[1:]
+    if args_list[:1] == ["bench"]:
+        from .experiments.trajectory import main as bench_main
+
+        return bench_main(args_list[1:], out=out)
 
     args = parser.parse_args(argv)
     if args.command == "figures":

@@ -113,6 +113,27 @@ class SystemConfig:
         How long a recovering or gap-detecting replica waits for the
         primary's catch-up response before giving up and retrying on the
         next trigger.
+    wake_policy:
+        Who gets woken when a transaction ends and its locks release.
+        ``"broadcast"`` (the paper's rule, default) wakes *every* waiter at
+        the site; ``"targeted"`` wakes only waiters whose recorded wait-set
+        (the lock keys their blocked operation requested) intersects the
+        keys just released — spurious wake-ups and their retry lock-table
+        traffic disappear, at the cost of a per-waiter key-set record.
+    group_commit_window_ms:
+        Group commit for eager replica synchronization. ``0`` (default)
+        sends one ReplicaSyncRequest round per committing transaction, as
+        before. ``> 0`` coalesces the sync batches of transactions that
+        reach commit within the window at the same coordinator into one
+        ReplicaSyncBatch per (primary, document): one batched log append
+        and one ack round per secondary, shared by every transaction in
+        the batch.
+    spec_cache:
+        Reuse an operation's computed LockSpec across wait/retry attempts
+        while the protocol's structure summary (e.g. the DataGuide) is
+        unchanged. Pure wall-clock optimisation: the cached spec retains
+        its ``nodes_visited`` meter, so *simulated* costs and schedules
+        are bit-identical with the cache on or off.
     """
 
     network: NetworkConfig = field(default_factory=NetworkConfig)
@@ -132,6 +153,9 @@ class SystemConfig:
     replica_write_policy: str = "all"
     lazy_staleness_ms: float = 5.0
     catchup_timeout_ms: float = 50.0
+    wake_policy: str = "broadcast"
+    group_commit_window_ms: float = 0.0
+    spec_cache: bool = True
 
     def validate(self) -> None:
         self.network.validate()
@@ -154,6 +178,12 @@ class SystemConfig:
             raise ConfigError("lazy_staleness_ms must be >= 0")
         if self.catchup_timeout_ms <= 0:
             raise ConfigError("catchup_timeout_ms must be > 0")
+        if self.wake_policy not in ("broadcast", "targeted"):
+            raise ConfigError(
+                f"wake_policy must be 'broadcast' or 'targeted', got {self.wake_policy!r}"
+            )
+        if self.group_commit_window_ms < 0:
+            raise ConfigError("group_commit_window_ms must be >= 0")
 
     def with_(self, **kwargs) -> "SystemConfig":
         """Return a copy with the given top-level fields replaced."""

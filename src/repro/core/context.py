@@ -50,6 +50,11 @@ class SiteTxContext:
     # (committed-state) copy during the replica sync — the commit must not
     # fold them twice.
     stable_applied: set = field(default_factory=set)
+    # op.index -> (structure version, LockSpec): the spec a blocked
+    # operation computed, reused on retry while the protocol's structure
+    # summary is unchanged (config.spec_cache). The cached spec keeps its
+    # nodes_visited meter, so retries are charged identical simulated cost.
+    spec_cache: dict = field(default_factory=dict)
 
     def touched_doc_names(self) -> list[str]:
         """Documents with data effects at this site (need persisting/undo)."""

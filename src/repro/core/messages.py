@@ -171,6 +171,50 @@ class ReplicaSyncAck:
 
 
 @dataclass
+class ReplicaSyncBatch:
+    """Group commit: several transactions' sync batches in one message.
+
+    When ``group_commit_window_ms > 0``, a coordinator's per-(primary,
+    document) sync outbox coalesces the ReplicaSyncRequests of transactions
+    that reach commit within the window into one of these: the receiving
+    replica applies every entry (in LSN order, through the same idempotent
+    LSN/epoch machinery as single syncs) and answers with a single
+    :class:`ReplicaSyncBatchAck` — one network round shared by the whole
+    batch instead of one per transaction. ``entries`` are
+    :class:`~repro.distribution.replication.UpdateLogEntry` values;
+    ``log_only`` marks the copy sent to the document's primary, which
+    executed the updates itself and only records the log entries.
+    """
+
+    coordinator: Hashable
+    doc_name: str
+    batch_id: int
+    log_only: bool = False
+    entries: list = field(default_factory=list)  # UpdateLogEntry, LSN order
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 16 + sum(e.payload_size() for e in self.entries)
+
+
+@dataclass
+class ReplicaSyncBatchAck:
+    """One ack for a whole ReplicaSyncBatch, with per-transaction results.
+
+    ``results`` maps each entry's tid to ``(ok, reason)`` so the outbox can
+    settle every waiting coordinator individually (one refused entry must
+    not fail its batch-mates).
+    """
+
+    site: Hashable
+    doc_name: str
+    batch_id: int
+    results: dict = field(default_factory=dict)  # tid -> (ok, reason)
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 8 + 9 * max(1, len(self.results))
+
+
+@dataclass
 class FailNotice:
     """Coordinator -> all involved sites: transaction failed (Alg. 6 l. 7).
 

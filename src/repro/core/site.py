@@ -56,6 +56,8 @@ from .messages import (
     RemoteOpRequest,
     RemoteOpResult,
     ReplicaSyncAck,
+    ReplicaSyncBatch,
+    ReplicaSyncBatchAck,
     ReplicaSyncRequest,
     SiteDownNotice,
     SiteUpNotice,
@@ -67,6 +69,32 @@ from .messages import (
     WfgResponse,
 )
 from .transaction import Operation, OpKind, Transaction, TxId, TxState
+
+
+@dataclass
+class _SyncOutbox:
+    """Group-commit staging area: one per (primary, document) pair.
+
+    Transactions that reach the eager replica-sync step while the window
+    is open enqueue their per-document update batch here instead of
+    sending their own ReplicaSyncRequest round; the flush process turns
+    the whole queue into one ReplicaSyncBatch per target and settles every
+    queued transaction's waiter event with its individual outcome.
+    """
+
+    primary: Hashable
+    doc_name: str
+    queue: list = field(default_factory=list)  # (rec, ops, waiter Event)
+    open: bool = True
+
+
+@dataclass
+class _SyncBatchState:
+    """Ack collection for one in-flight ReplicaSyncBatch fan-out."""
+
+    expected: set = field(default_factory=set)  # sites still to answer
+    acks: dict = field(default_factory=dict)  # site -> ReplicaSyncBatchAck
+    event: object = None
 
 
 @dataclass
@@ -91,6 +119,10 @@ class SiteStats:
     aborts: int = 0
     fails: int = 0
     wake_notices_sent: int = 0
+    waiter_wakes: int = 0  # waiters woken at this site (local + remote)
+    spec_cache_hits: int = 0  # retries that reused a cached LockSpec
+    group_batches_sent: int = 0  # ReplicaSyncBatch messages sent from here
+    group_batched_syncs: int = 0  # per-tx sync batches that rode a group batch
     undo_ops: int = 0
     coordinated: int = 0
     peak_lock_count: int = 0
@@ -137,6 +169,24 @@ class DTXSite:
         self.coordinators: dict[TxId, CoordinatorRecord] = {}
         self.finished: set[TxId] = set()
         self.waiters: dict[TxId, Hashable] = {}  # waiting tid -> coordinator site
+        # Conflict-indexed wait registry (wake_policy="targeted"): the
+        # (key, mode) pairs each blocked operation requested. A release
+        # wakes only the waiters with a requested pair that is
+        # *incompatible* with something actually released — a merely
+        # shared key (e.g. the root's intention locks, which every
+        # operation touches in compatible modes) wakes nobody.
+        self._wait_sets: dict[TxId, frozenset] = {}
+        # Locks released outside end-of-transaction (single-operation undo
+        # backs locks out without waking anyone, per the paper's
+        # end-of-transaction wake rule), as key -> set of modes. They are
+        # folded into the *next* end-of-transaction wake sweep so a
+        # targeted policy cannot lose the wake-up a broadcast would have
+        # delivered then.
+        self._deferred_wake_keys: dict = {}
+        # Group commit (config.group_commit_window_ms > 0).
+        self._sync_outboxes: dict[tuple, _SyncOutbox] = {}
+        self._sync_batches: dict[int, _SyncBatchState] = {}
+        self._batch_seq = 0
         self.remote_ops: Store = Store(env)
         self._tx_seq = 0
         self.stats = SiteStats()
@@ -297,6 +347,10 @@ class DTXSite:
                 self.env.process(self._handle_undo_request(msg))
             elif isinstance(msg, ReplicaSyncRequest):
                 self.env.process(self._handle_replica_sync(msg))
+            elif isinstance(msg, ReplicaSyncBatch):
+                self.env.process(self._handle_replica_sync_batch(msg))
+            elif isinstance(msg, ReplicaSyncBatchAck):
+                self._on_batch_ack(msg)
             elif isinstance(msg, CommitRequest):
                 self.env.process(self._handle_commit_request(msg))
             elif isinstance(msg, AbortRequest):
@@ -339,10 +393,27 @@ class DTXSite:
         costs = self.costs
         doc = self.data_manager.document(op.doc_name)
 
-        if op.kind is OpKind.QUERY:
-            spec = self.protocol.lock_spec_for_query(op.doc_name, op.payload)
-        else:
-            spec = self.protocol.lock_spec_for_update(op.doc_name, op.payload)
+        # Retry-time spec reuse: a woken operation recomputes nothing while
+        # the protocol's structure summary is unchanged. The cached spec
+        # keeps its nodes_visited meter, so the *simulated* cost charged
+        # below is identical either way — this is a wall-clock optimisation
+        # only, and simulated schedules stay bit-identical.
+        spec = None
+        version = None
+        if self.config.spec_cache:
+            version = self.protocol.structure_version(op.doc_name)
+            if version is not None:
+                cached = ctx.spec_cache.get(op.index)
+                if cached is not None and cached[0] == version:
+                    spec = cached[1]
+                    self.stats.spec_cache_hits += 1
+        if spec is None:
+            if op.kind is OpKind.QUERY:
+                spec = self.protocol.lock_spec_for_query(op.doc_name, op.payload)
+            else:
+                spec = self.protocol.lock_spec_for_update(op.doc_name, op.payload)
+            if version is not None:
+                ctx.spec_cache[op.index] = (version, spec)
         outcome = self.lock_manager.process_operation(tid, spec)
         cost = (
             spec.nodes_visited * costs.node_visit_ms
@@ -356,8 +427,11 @@ class DTXSite:
             self.stats.ops_blocked += 1
             if outcome.deadlock:
                 self.stats.local_deadlocks += 1
-            # Register the coordinator for a wake notice on the next release.
+            # Register the coordinator for a wake notice on the next release,
+            # together with the lock pairs the blocked spec wanted (the
+            # targeted wake policy only fires on a conflicting release).
             self.waiters[tid] = coordinator
+            self._wait_sets[tid] = outcome.blocked_pairs
             return LocalResult(
                 acquired=False, deadlock=outcome.deadlock, cost_ms=cost
             )
@@ -411,6 +485,15 @@ class DTXSite:
             cost += entry.undo_count * self.costs.update_apply_ms
         for key, mode in reversed(entry.lock_pairs):
             self.lock_manager.table.release_one(key, tid, mode)
+        # Remember the pairs for the next end-of-transaction wake sweep:
+        # the targeted policy must not lose the wake-up that broadcast's
+        # wake-everyone-at-any-end would eventually deliver for these locks
+        # (they will not appear in the owner's release set any more).
+        # Broadcast wakes everyone regardless, so it never reads — and
+        # must not accumulate — this record.
+        if self.config.wake_policy == "targeted":
+            for key, mode in entry.lock_pairs:
+                self._deferred_wake_keys.setdefault(key, set()).add(mode)
         cost += len(entry.lock_pairs) * self.costs.lock_op_ms
         self.stats.undo_ops += 1
         # Deliberately NO wake notification here: waiters are woken only when
@@ -445,11 +528,12 @@ class DTXSite:
                 # order) and queue their asynchronous propagation.
                 self._log_and_queue_lazy(tid, ctx)
             ctx.undo.clear()
-        _, lock_ops = self.lock_manager.release_transaction(tid)
+        released, lock_ops = self.lock_manager.release_transaction(tid)
         cost += lock_ops * self.costs.lock_op_ms
         self.finished.add(tid)
         self.waiters.pop(tid, None)
-        self._notify_lock_release()
+        self._wait_sets.pop(tid, None)
+        self._notify_lock_release(released)
         return cost
 
     def _abort_at_site(self, tid: TxId) -> float:
@@ -463,11 +547,12 @@ class DTXSite:
                     ctx.undo.rollback_last(entry.undo_count)
                     self.protocol.after_undo(entry.doc_name, entry.changes)
                     cost += entry.undo_count * self.costs.update_apply_ms
-        _, lock_ops = self.lock_manager.release_transaction(tid)
+        released, lock_ops = self.lock_manager.release_transaction(tid)
         cost += lock_ops * self.costs.lock_op_ms
         self.finished.add(tid)
         self.waiters.pop(tid, None)
-        self._notify_lock_release()
+        self._wait_sets.pop(tid, None)
+        self._notify_lock_release(released)
         return cost
 
     def _fail_at_site(self, tid: TxId, persist: bool = False) -> None:
@@ -488,26 +573,52 @@ class DTXSite:
                 # and propagate them, or the secondaries would silently
                 # diverge from the primary that kept them.
                 self._log_and_queue_lazy(tid, ctx)
-        self.lock_manager.release_transaction(tid)
+        released, _ = self.lock_manager.release_transaction(tid)
         self.finished.add(tid)
         self.waiters.pop(tid, None)
+        self._wait_sets.pop(tid, None)
         self.stats.fails += 1
-        self._notify_lock_release()
+        self._notify_lock_release(released)
 
     # ------------------------------------------------------------------
     # wake management
     # ------------------------------------------------------------------
 
-    def _notify_lock_release(self) -> None:
-        """Wake every transaction waiting at this site.
+    def _notify_lock_release(self, released_keys=None) -> None:
+        """Wake waiting transactions after a transaction ended here.
 
         Paper §2.2: "When a transaction commits, those that entered wait mode
         waiting for the locks of the one that committed, start executing
-        again." Waiters re-register if they block again, so spurious wakes
-        are safe.
+        again." Under ``wake_policy="broadcast"`` (the paper's rule) every
+        waiter is woken on any end — waiters re-register if they block
+        again, so spurious wakes are safe, just wasteful. Under
+        ``"targeted"`` only waiters with a requested (key, mode) pair that
+        is *incompatible* with something just released (including locks
+        released earlier by single-operation undo, which wakes nobody at
+        the time) are woken; the others provably could not make progress
+        from this release.
         """
+        targeted = (
+            self.config.wake_policy == "targeted" and released_keys is not None
+        )
+        if targeted:
+            released = {key: set(modes) for key, modes in released_keys.items()}
+            for key, modes in self._deferred_wake_keys.items():
+                released.setdefault(key, set()).update(modes)
+            self._deferred_wake_keys.clear()
+            matrix = self.lock_manager.table.matrix
         for tid, coordinator in list(self.waiters.items()):
+            if targeted:
+                wait_set = self._wait_sets.get(tid)
+                if wait_set is not None and not any(
+                    key in released
+                    and not matrix.compatible_with_all(released[key], mode)
+                    for key, mode in wait_set
+                ):
+                    continue
             del self.waiters[tid]
+            self._wait_sets.pop(tid, None)
+            self.stats.waiter_wakes += 1
             if coordinator == self.site_id:
                 self._wake_coordinator(tid)
             else:
@@ -593,26 +704,78 @@ class DTXSite:
         """
         if self._maybe_crash("sync-recv"):
             return  # crashed before applying anything
-        doc_name = msg.doc_name
         if self.should_refuse(msg.tid, self.refuse_sync):
             self.stats.syncs_refused += 1
             yield self.env.timeout(0)
             self._send_sync_ack(msg, ok=False, reason="refused")
             return
+        result = yield from self._ingest_sync_entry(
+            msg.doc_name, msg.tid, msg.lsn, msg.epoch, msg.ops, msg.log_only
+        )
+        if result is None:
+            return  # crashed mid-ingest: no ack (senders recover via site-down)
+        ok, reason = result
+        self._send_sync_ack(msg, ok=ok, reason=reason)
+
+    def _handle_replica_sync_batch(self, msg: ReplicaSyncBatch):
+        """Group commit: ingest several transactions' batches, one ack.
+
+        Every entry goes through the same idempotent LSN/epoch machinery as
+        a single sync; the per-transaction outcomes are collected into one
+        :class:`ReplicaSyncBatchAck` so a refused entry does not fail its
+        batch-mates.
+        """
+        if self._maybe_crash("sync-recv"):
+            return
+        results: dict = {}
+        for entry in sorted(msg.entries, key=lambda e: e.lsn):
+            if not self.alive:
+                return
+            if self.should_refuse(entry.tid, self.refuse_sync):
+                self.stats.syncs_refused += 1
+                yield self.env.timeout(0)
+                results[entry.tid] = (False, "refused")
+                continue
+            result = yield from self._ingest_sync_entry(
+                entry.doc_name, entry.tid, entry.lsn, entry.epoch,
+                list(entry.ops), msg.log_only,
+            )
+            if result is None:
+                return  # crashed mid-batch: no ack
+            results[entry.tid] = result
+        self.network.send(
+            self.site_id,
+            msg.coordinator,
+            ReplicaSyncBatchAck(
+                site=self.site_id, doc_name=msg.doc_name,
+                batch_id=msg.batch_id, results=results,
+            ),
+        )
+
+    def _ingest_sync_entry(self, doc_name, tid, lsn, epoch, ops, log_only):
+        """Incorporate one committed update batch; ``(ok, reason)`` or
+        ``None`` when the site crashed mid-ingest (the caller must not ack).
+
+        Shared by the single-sync and group-commit paths — the LSN/epoch
+        checks make the apply idempotent (a replayed entry is skipped),
+        gap-healing (missed entries are pulled from the primary first) and
+        fenced (batches stamped with a pre-promotion epoch are refused).
+        All operations of a batch are applied before any simulated time
+        passes, so a sync is atomic with respect to concurrent local reads.
+        """
         # Serialize with an in-flight catch-up on the same document.
         while doc_name in self._catchup_gates:
             yield self._catchup_gates[doc_name]
         if not self.alive:
-            return
-        if msg.epoch < self.catalog.epoch(doc_name):
+            return None
+        if epoch < self.catalog.epoch(doc_name):
             self.stats.syncs_refused += 1
             yield self.env.timeout(0)
-            self._send_sync_ack(msg, ok=False, reason="stale-epoch")
-            return
+            return False, "stale-epoch"
         log = self.log_for(doc_name)
         cost = self.costs.scheduler_dispatch_ms
-        existing = log.entries.get(msg.lsn)
-        if existing is not None and existing.epoch != msg.epoch:
+        existing = log.entries.get(lsn)
+        if existing is not None and existing.epoch != epoch:
             # This LSN slot is occupied by a *phantom*: a batch of a
             # deposed timeline this replica applied while the rest of the
             # cluster moved on (promotions restart the LSN sequence at the
@@ -621,40 +784,38 @@ class DTXSite:
             # reconcile that — heal by snapshot transfer first.
             yield from self._catch_up(doc_name, force_snapshot=True)
             if not self.alive:
-                return
+                return None
             log = self.log_for(doc_name)
-            existing = log.entries.get(msg.lsn)
-            if existing is not None and existing.epoch != msg.epoch:
+            existing = log.entries.get(lsn)
+            if existing is not None and existing.epoch != epoch:
                 # Heal did not complete (primary down / mid-flight holes):
                 # refuse and stay behind; the next trigger retries.
                 self.stats.syncs_refused += 1
                 yield self.env.timeout(0)
-                self._send_sync_ack(msg, ok=False, reason="gap")
-                return
-        if log.has(msg.lsn):
+                return False, "gap"
+        if log.has(lsn):
             # Duplicate delivery or replayed log entry: idempotent no-op.
             yield self.env.timeout(cost)
-            self._send_sync_ack(msg, ok=True)
-            return
-        if msg.log_only:
+            return True, ""
+        if log_only:
             # This site is the document's primary and executed the updates
             # itself, so only the log entry is recorded — together with a
             # persist, so log and data stay durably consistent. Holes below
             # this LSN are records of non-conflicting racing commits still
             # in flight to us (conflicting predecessors were acked before
             # this transaction could even lock): safe to record over.
-            ctx = self.tx_contexts.get(msg.tid)
+            ctx = self.tx_contexts.get(tid)
             if ctx is not None:
                 entry = UpdateLogEntry(
-                    lsn=msg.lsn, epoch=msg.epoch, tid=msg.tid,
-                    doc_name=doc_name, ops=tuple(msg.ops),
+                    lsn=lsn, epoch=epoch, tid=tid,
+                    doc_name=doc_name, ops=tuple(ops),
                 )
                 cost += self._apply_log_entry(entry, apply_data=False)
                 # Once synced the batch can only commit or fail-keep, never
                 # undo: fold it into the stable copy and persist, so the
                 # durable log entry and the durable data move together.
                 if doc_name not in ctx.stable_applied:
-                    self._stable_apply(doc_name, msg.ops)
+                    self._stable_apply(doc_name, ops)
                     ctx.stable_applied.add(doc_name)
                 persisted = self._persist_committed(doc_name)
                 cost += (persisted / 1024.0) * self.costs.persist_per_kb_ms
@@ -662,14 +823,13 @@ class DTXSite:
                 self.stats.replica_syncs_served += 1
                 yield self.env.timeout(cost)
                 if self._maybe_crash("sync-applied"):
-                    return
-                self._send_sync_ack(msg, ok=True)
-                return
+                    return None
+                return True, ""
             # No execution state: this primary crashed and recovered while
             # the transaction was in flight. Its effects are gone from
             # memory, so fall through and incorporate the batch the way a
             # secondary would — by applying the shipped operations.
-        if msg.lsn > log.applied_lsn + 1:
+        if lsn > log.applied_lsn + 1:
             # Batches below this one are missing: either non-conflicting
             # racing writers whose syncs are still in flight to us (they
             # commute with this batch and fill in on arrival), or batches
@@ -684,28 +844,26 @@ class DTXSite:
             if self.catalog.replica_set(doc_name).primary != self.site_id:
                 caught_up = yield from self._catch_up(doc_name)
                 if not self.alive:
-                    return
-                if log.has(msg.lsn):
+                    return None
+                if log.has(lsn):
                     yield self.env.timeout(cost)
-                    self._send_sync_ack(msg, ok=True)
-                    return
-                if not caught_up and msg.lsn > log.applied_lsn + 1:
+                    return True, ""
+                if not caught_up and lsn > log.applied_lsn + 1:
                     # No response (primary down / timed out): stay behind
                     # rather than apply over unknown state; the next sync
                     # or recovery trigger retries.
                     self.stats.syncs_refused += 1
-                    self._send_sync_ack(msg, ok=False, reason="gap")
-                    return
+                    return False, "gap"
         entry = UpdateLogEntry(
-            lsn=msg.lsn, epoch=msg.epoch, tid=msg.tid,
-            doc_name=doc_name, ops=tuple(msg.ops),
+            lsn=lsn, epoch=epoch, tid=tid,
+            doc_name=doc_name, ops=tuple(ops),
         )
         cost += self._apply_log_entry(entry)
         self.stats.replica_syncs_served += 1
         yield self.env.timeout(cost)
         if self._maybe_crash("sync-applied"):
-            return  # crashed after the durable apply, before the ack
-        self._send_sync_ack(msg, ok=True)
+            return None  # crashed after the durable apply, before the ack
+        return True, ""
 
     def _send_sync_ack(self, msg: ReplicaSyncRequest, ok: bool, reason: str = "") -> None:
         self.network.send(
@@ -1038,6 +1196,8 @@ class DTXSite:
                 per_doc.setdefault(op.doc_name, []).append(op)
         if not per_doc:
             return True
+        use_group = self.config.group_commit_window_ms > 0
+        group_waits: list = []
         ack_keys: list = []
         sends: list = []
         for doc_name, ops in per_doc.items():
@@ -1055,6 +1215,15 @@ class DTXSite:
                 # this coordinator cannot vouch for.
                 rec.abort_reason = "participant-crashed"
                 return False
+            if use_group:
+                # Group commit: stage the batch in the (primary, doc)
+                # outbox and share the sync round with every transaction
+                # that reaches commit within the window. LSNs are
+                # allocated at flush time, in enqueue order, so the
+                # per-document sequence stays as contiguous as unbatched
+                # commits would have made it.
+                group_waits.append(self._enqueue_group_sync(rec, doc_name, ops))
+                continue
             lsn = self.catalog.allocate_lsn(doc_name)
             epoch = self.catalog.epoch(doc_name)
             if rset.primary == self.site_id:
@@ -1101,6 +1270,27 @@ class DTXSite:
                         ),
                     )
                 )
+        if group_waits:
+            # Drain *every* waiter before deciding: another document's
+            # batch may have durably applied at secondaries (rec.synced),
+            # which turns a failure into fail-with-state-kept, not abort.
+            outcomes = []
+            for waiter in group_waits:
+                outcome = yield waiter
+                self._check_alive()
+                outcomes.append(outcome)
+            failed_reason = ""
+            for outcome in outcomes:
+                if outcome is None:  # outbox wiped by a crash we survived?
+                    failed_reason = failed_reason or "participant-crashed"
+                    continue
+                if outcome["synced"]:
+                    rec.synced = True
+                if not outcome["ok"]:
+                    failed_reason = outcome["reason"] or "sync-failed"
+            if failed_reason:
+                rec.abort_reason = failed_reason
+                return False
         if not ack_keys:
             return True
         self._collect_acks(rec, "sync", ack_keys)
@@ -1116,6 +1306,157 @@ class DTXSite:
             return False
         return True
 
+    # ------------------------------------------------------------------
+    # group commit (config.group_commit_window_ms > 0)
+    # ------------------------------------------------------------------
+
+    def _enqueue_group_sync(self, rec: CoordinatorRecord, doc_name: str, ops):
+        """Stage one transaction's per-document batch in the sync outbox.
+
+        Returns the event the coordinator must yield on; it fires with the
+        transaction's individual outcome dict (``ok``/``synced``/``reason``)
+        once the batch's single ack round completes — or with ``None`` when
+        this site crashed while the batch was pending.
+        """
+        rset = self.catalog.replica_set(doc_name)
+        key = (rset.primary, doc_name)
+        box = self._sync_outboxes.get(key)
+        if box is None or not box.open:
+            box = _SyncOutbox(primary=rset.primary, doc_name=doc_name)
+            self._sync_outboxes[key] = box
+            self.env.process(self._flush_sync_outbox(key, box, self.incarnation))
+        waiter = self.env.event()
+        box.queue.append((rec, ops, waiter))
+        return waiter
+
+    def _outbox_died(self, box: _SyncOutbox, incarnation: int) -> bool:
+        """Whether this flush belongs to a crashed (or crashed-and-restarted)
+        incarnation of the site. ``crash()`` already settled the waiters and
+        failed the queued transactions' clients; a flush that resumes after
+        a recover must do nothing — replicating now would ship effects of
+        transactions already reported failed."""
+        if self.alive and self.incarnation == incarnation:
+            return False
+        for _, _, waiter in box.queue:
+            if not waiter.triggered:
+                waiter.succeed(None)
+        return True
+
+    def _flush_sync_outbox(self, key, box: _SyncOutbox, incarnation: int):
+        """Turn one outbox's queue into a single sync round.
+
+        After the window closes: re-validate each queued transaction the
+        way the unbatched path would (its executing copy must still be the
+        live primary — a failover or crash during the window fails that
+        transaction, not the whole batch), allocate LSNs in enqueue order,
+        record the batch in the primary's durable log (locally when this
+        coordinator is the primary, via one log-only batch otherwise), ship
+        one ReplicaSyncBatch per live secondary and settle every waiter
+        from the collected per-transaction ack results.
+        """
+        yield self.env.timeout(self.config.group_commit_window_ms)
+        box.open = False
+        if self._sync_outboxes.get(key) is box:
+            del self._sync_outboxes[key]
+        if self._outbox_died(box, incarnation):
+            return
+        doc_name = box.doc_name
+        rset = self.catalog.replica_set(doc_name)
+        valid: list = []
+        for rec, ops, waiter in box.queue:
+            origin = rec.write_sites.get(doc_name, set())
+            if (
+                rset.primary != box.primary
+                or rset.primary not in origin
+                or any(not self.network.is_up(s) for s in origin)
+            ):
+                waiter.succeed(
+                    {"ok": False, "synced": False, "reason": "participant-crashed"}
+                )
+            else:
+                valid.append((rec, ops, waiter))
+        if not valid:
+            return
+        epoch = self.catalog.epoch(doc_name)
+        entries = [
+            UpdateLogEntry(
+                lsn=self.catalog.allocate_lsn(doc_name), epoch=epoch,
+                tid=rec.tid, doc_name=doc_name, ops=tuple(ops),
+            )
+            for rec, ops, _ in valid
+        ]
+        self.stats.group_batched_syncs += len(valid)
+        targets: list = []  # (site, log_only)
+        if rset.primary == self.site_id:
+            # One batched log append: every entry recorded and persisted
+            # before any simulated time passes, exactly like the unbatched
+            # primary-local path — just once per batch.
+            for entry, (rec, ops, _) in zip(entries, valid):
+                self._apply_log_entry(entry, apply_data=False)
+                ctx = self.tx_contexts.get(entry.tid)
+                if ctx is not None and doc_name not in ctx.stable_applied:
+                    self._stable_apply(doc_name, ops)
+                    ctx.stable_applied.add(doc_name)
+                self._persist_committed(doc_name)
+                rec.synced = True
+        elif self.network.is_up(rset.primary):
+            targets.append((rset.primary, True))
+        for target in self.replication.sync_targets(rset):
+            if self.network.is_up(target):
+                targets.append((target, False))
+        if not targets:
+            # We are the primary and no secondary is reachable: the local
+            # durable record above is all the syncing there is to do.
+            for rec, _, waiter in valid:
+                waiter.succeed({"ok": True, "synced": rec.synced, "reason": ""})
+            return
+        self._batch_seq += 1
+        batch_id = self._batch_seq
+        state = _SyncBatchState(
+            expected={site for site, _ in targets}, event=self.env.event()
+        )
+        self._sync_batches[batch_id] = state
+        for site, log_only in targets:
+            self.network.send(
+                self.site_id,
+                site,
+                ReplicaSyncBatch(
+                    coordinator=self.site_id, doc_name=doc_name,
+                    batch_id=batch_id, log_only=log_only, entries=list(entries),
+                ),
+            )
+            self.stats.group_batches_sent += 1
+        yield state.event
+        self._sync_batches.pop(batch_id, None)
+        if self._outbox_died(box, incarnation):
+            return
+        for rec, _, waiter in valid:
+            ok_any = False
+            stale = False
+            for ack in state.acks.values():
+                result = ack.results.get(rec.tid)
+                if result is None:
+                    continue
+                if result[0]:
+                    ok_any = True
+                elif result[1] == "stale-epoch":
+                    stale = True
+            waiter.succeed(
+                {
+                    "ok": not stale,
+                    "synced": ok_any or rec.synced,
+                    "reason": "stale-epoch" if stale else "",
+                }
+            )
+
+    def _on_batch_ack(self, msg: ReplicaSyncBatchAck) -> None:
+        state = self._sync_batches.get(msg.batch_id)
+        if state is None:
+            return
+        state.acks[msg.site] = msg
+        if not state.event.triggered and set(state.acks) >= state.expected:
+            state.event.succeed(None)
+
     def _commit_transaction(self, rec: CoordinatorRecord):
         """Algorithm 5. Returns True on commit, False to fall into abort."""
         self._check_alive()
@@ -1125,7 +1466,12 @@ class DTXSite:
             synced_ok = yield from self._sync_replicas(rec)
             if not synced_ok:
                 return False
-        others = [s for s in rec.tx.sites_involved if s != self.site_id]
+        # sites_involved is a set: iterate it in sorted order so the send
+        # sequence (and with it the jitter stream each message draws from)
+        # is reproducible across processes, not just within one.
+        others = sorted(
+            (s for s in rec.tx.sites_involved if s != self.site_id), key=str
+        )
         live = [s for s in others if self.network.is_up(s)]
         if len(live) < len(others) and not rec.synced:
             # A participant died holding this transaction's state and
@@ -1166,7 +1512,9 @@ class DTXSite:
         """Algorithm 6. Returns True when the abort executed everywhere;
         False means the transaction *failed* (fail notices were sent)."""
         self._check_alive()
-        others = [s for s in rec.tx.sites_involved if s != self.site_id]
+        others = sorted(
+            (s for s in rec.tx.sites_involved if s != self.site_id), key=str
+        )
         live = [s for s in others if self.network.is_up(s)]
         if rec.synced or rec.partial_commit:
             # The commit-time sync already recorded the updates durably
@@ -1247,6 +1595,21 @@ class DTXSite:
         self.coordinators.clear()
         self.tx_contexts.clear()
         self.waiters.clear()
+        self._wait_sets.clear()
+        self._deferred_wake_keys.clear()
+        # Group-commit state is volatile: pending outboxes and in-flight
+        # batch rounds die with the site. Their waiter events fire with
+        # None so the (already-failed) coordinator generators unwind.
+        for outbox in list(self._sync_outboxes.values()):
+            outbox.open = False
+            for _, _, waiter in outbox.queue:
+                if not waiter.triggered:
+                    waiter.succeed(None)
+        self._sync_outboxes.clear()
+        for state in list(self._sync_batches.values()):
+            if state.event is not None and not state.event.triggered:
+                state.event.succeed(None)
+        self._sync_batches.clear()
         self._stable.clear()  # in-memory staging; its durable form is storage
         self.wfg = WaitForGraph()
         self.lock_manager = LockManager(LockTable(self.protocol.matrix), self.wfg)
@@ -1348,6 +1711,17 @@ class DTXSite:
                     rec.ack_event.succeed(dict(rec.acks))
             # Any lock the dead site held is gone: retry waiting work.
             self._wake_coordinator(rec.tid)
+        # Group-commit ack rounds waiting on the dead site complete with
+        # the answers that did arrive (same rule as drop_site_from_acks).
+        for state in self._sync_batches.values():
+            if down in state.expected and down not in state.acks:
+                state.expected.discard(down)
+                if (
+                    state.event is not None
+                    and not state.event.triggered
+                    and set(state.acks) >= state.expected
+                ):
+                    state.event.succeed(None)
         for tid, ctx in list(self.tx_contexts.items()):
             if ctx.coordinator != down or tid in self.coordinators:
                 continue

@@ -19,6 +19,7 @@ update applier, including pruning of guide nodes whose target set drains
 
 from __future__ import annotations
 
+from itertools import count
 from typing import Iterator, Optional
 
 from ..errors import ReproError
@@ -26,6 +27,12 @@ from ..update.operations import AppliedChange
 from ..xml.model import Document, Element
 
 LabelPath = tuple[str, ...]
+
+# Process-wide version clock shared by all guides: a freshly (re)built guide
+# can never report a version some older guide of the same document already
+# reported, so a LockSpec cached against a version stays invalid across
+# rebuilds (snapshot installs, re-registration) — not just across edits.
+_VERSION_CLOCK = count(1)
 
 
 class DataGuideNode:
@@ -81,6 +88,11 @@ class DataGuide:
         self.doc_name = doc_name
         self.root: Optional[DataGuideNode] = None
         self._by_path: dict[LabelPath, DataGuideNode] = {}
+        # Bumped on every structural mutation (_add_path/_remove_path, which
+        # apply_change/undo_change funnel through). Cached lock specs are
+        # keyed against it: unchanged version => unchanged guide => the
+        # spec a blocked operation computed is still exact on retry.
+        self.version = next(_VERSION_CLOCK)
 
     # -- construction -----------------------------------------------------
 
@@ -124,6 +136,7 @@ class DataGuide:
     def _add_path(self, path: LabelPath, target_id: int) -> DataGuideNode:
         if not path:
             raise ReproError("empty label path")
+        self.version = next(_VERSION_CLOCK)
         if self.root is None:
             self.root = DataGuideNode(path[0])
             self.root.guide = self
@@ -154,6 +167,7 @@ class DataGuide:
         node = self._by_path.get(tuple(path))
         if node is None:
             raise ReproError(f"label path {'/'.join(path)} not in guide")
+        self.version = next(_VERSION_CLOCK)
         node.targets.discard(target_id)
         self._prune(node)
 

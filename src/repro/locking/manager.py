@@ -29,6 +29,13 @@ class AcquireOutcome:
     cycle: Optional[list] = None
     lock_ops: int = 0  # table operations performed (cost model input)
     new_pairs: list = field(default_factory=list)  # (key, mode) newly granted
+    # On failure: every (key, mode) the blocked spec requested. A targeted
+    # wake policy wakes the waiter only when a release could actually have
+    # unblocked it — some released (key, modes) is incompatible with a
+    # requested pair. Recording the full requested set (not just the first
+    # conflicting key) keeps the policy conservative: any released
+    # conflicting key may change what the retry can acquire.
+    blocked_pairs: frozenset = frozenset()
 
 
 class LockManager:
@@ -58,6 +65,7 @@ class LockManager:
                     deadlock=cycle is not None,
                     cycle=cycle,
                     lock_ops=self.table.lock_ops - ops_before,
+                    blocked_pairs=frozenset((r.key, r.mode) for r in spec),
                 )
             if is_new:
                 new_pairs.append((req.key, req.mode))
@@ -69,17 +77,20 @@ class LockManager:
             new_pairs=new_pairs,
         )
 
-    def release_transaction(self, tx: Hashable) -> tuple[list, int]:
+    def release_transaction(self, tx: Hashable) -> tuple[dict, int]:
         """Release all of ``tx``'s locks and drop it from the wait-for graph.
 
-        Returns the released keys and the number of table operations (for
-        cost accounting). Called on commit and on abort — strict 2PL holds
-        every lock until transaction end.
+        Returns the released locks as ``{key: frozenset(modes)}`` (the
+        targeted wake policy tests waiters' requested pairs against them)
+        and the number of table operations (for cost accounting). Called on
+        commit and on abort — strict 2PL holds every lock until
+        transaction end.
         """
         ops_before = self.table.lock_ops
-        keys = self.table.release_transaction(tx)
+        released = self.table.held_by(tx)
+        self.table.release_transaction(tx)
         self.wfg.remove_node(tx)
-        return keys, self.table.lock_ops - ops_before
+        return released, self.table.lock_ops - ops_before
 
     def held_by(self, tx: Hashable) -> dict:
         return self.table.held_by(tx)

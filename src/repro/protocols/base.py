@@ -65,3 +65,15 @@ class ConcurrencyProtocol(ABC):
     def structure_node_count(self, doc_name: str) -> int:
         """Size of the lock representation structure (0 if none)."""
         return 0
+
+    def structure_version(self, doc_name: str) -> "int | None":
+        """Cheap monotonic version of the representation structure.
+
+        ``None`` (the default) means the protocol has no inexpensive way to
+        detect structure change, and callers must not cache anything derived
+        from it. A protocol that returns an int guarantees: same version =>
+        ``lock_spec_for_*`` would return an identical spec for the same
+        operation — which lets a blocked operation's spec be reused across
+        wait/retry attempts instead of being recomputed.
+        """
+        return None

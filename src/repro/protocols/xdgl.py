@@ -82,6 +82,10 @@ class XDGLProtocol(ConcurrencyProtocol):
     def structure_node_count(self, doc_name: str) -> int:
         return self.guide(doc_name).node_count()
 
+    def structure_version(self, doc_name: str) -> "int | None":
+        guide = self._guides.get(doc_name)
+        return None if guide is None else guide.version
+
     # -- lock rules -------------------------------------------------------------
 
     def lock_spec_for_query(

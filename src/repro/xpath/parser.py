@@ -200,12 +200,45 @@ class _Parser:
         )
 
 
+# Parsed-expression memo. Workloads re-submit the same path strings over
+# and over (templates, and every wait/retry attempt of a blocked operation
+# re-parses its payload), and a LocationPath is a tree of frozen dataclasses
+# — safe to share between arbitrarily many evaluations. Bounded so a
+# pathological stream of distinct expressions cannot grow it without limit.
+_PARSE_CACHE: dict[str, LocationPath] = {}
+_PARSE_CACHE_MAX = 4096
+_parse_cache_hits = 0
+_parse_cache_misses = 0
+
+
+def parse_cache_stats() -> tuple[int, int]:
+    """(hits, misses) of the process-wide parse memo (benchmark telemetry)."""
+    return _parse_cache_hits, _parse_cache_misses
+
+
+def clear_parse_cache() -> None:
+    global _parse_cache_hits, _parse_cache_misses
+    _PARSE_CACHE.clear()
+    _parse_cache_hits = 0
+    _parse_cache_misses = 0
+
+
 def parse_xpath(expr: str) -> LocationPath:
     """Parse ``expr`` into a :class:`LocationPath`.
 
     Raises :class:`repro.errors.XPathSyntaxError` for anything outside the
     supported subset.
     """
+    global _parse_cache_hits, _parse_cache_misses
+    cached = _PARSE_CACHE.get(expr)
+    if cached is not None:
+        _parse_cache_hits += 1
+        return cached
     if not expr or not expr.strip():
         raise XPathSyntaxError("empty XPath expression")
-    return _Parser(tokenize(expr), expr).parse_path()
+    path = _Parser(tokenize(expr), expr).parse_path()
+    _parse_cache_misses += 1
+    if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
+        _PARSE_CACHE.clear()  # crude but rare: one miss burst, no growth
+    _PARSE_CACHE[expr] = path
+    return path
