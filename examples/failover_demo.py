@@ -13,14 +13,23 @@ bytes — with every committed insert present exactly once.
 Run with::
 
     PYTHONPATH=src python examples/failover_demo.py
+    PYTHONPATH=src python examples/failover_demo.py --detector lease
+
+``--detector perfect`` (default) uses the paper's oracle: the crash is
+announced within one hop and the monitor promotes directly. ``--detector
+lease`` removes the oracle — the survivors *notice* the silence when the
+dead primary's lease expires, elect over the wire (log-tip majority vote),
+and announce the winner with an epoch bump; the recovered site learns it
+was deposed from the heartbeats that greet it.
 """
+
+import argparse
 
 from repro import DTXCluster, Operation, SystemConfig, Transaction
 from repro.update import InsertOp
 from repro.xml import E, doc, serialize_document
 
 CRASH_AT_MS = 1.5
-RECOVER_AT_MS = 12.0
 
 
 def make_document():
@@ -46,18 +55,35 @@ def writer(marker: int) -> Transaction:
     )
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--detector", choices=("perfect", "lease"), default="perfect",
+        help="failure detector: the paper's oracle, or lease-based "
+        "heartbeats with election over the wire",
+    )
+    args = parser.parse_args(argv)
+    lease = args.detector == "lease"
+    # The lease detector needs time to *notice* the silence (a lease
+    # timeout) and to elect (an election timeout): recover later and give
+    # the clients retries, or every transaction burns in the detection
+    # window.
+    recover_at_ms = 40.0 if lease else 12.0
     config = SystemConfig().with_(
-        client_think_ms=0.3,
+        client_think_ms=0.3 if not lease else 2.0,
         replication_factor=3,
         replica_read_policy="nearest",
         replica_write_policy="primary",
+        failure_detector=args.detector,
+        max_restarts=3 if lease else 0,
+        lock_wait_timeout_ms=100.0 if lease else 0.0,
     )
     cluster = DTXCluster(protocol="xdgl", config=config)
     for site in ("s1", "s2", "s3", "s4"):
         cluster.add_site(site)
     cluster.replicate_document(make_document(), ["s1", "s2", "s3"])
 
+    print(f"detector: {args.detector}")
     print("before:", cluster.catalog.replica_set("people"),
           f"(epoch {cluster.catalog.epoch('people')})")
 
@@ -67,14 +93,17 @@ def main() -> None:
         transactions.extend(mine)
         cluster.add_client(f"c-{site}", site, mine)
 
-    cluster.schedule_crash("s1", at_ms=CRASH_AT_MS, recover_at_ms=RECOVER_AT_MS)
+    cluster.schedule_crash("s1", at_ms=CRASH_AT_MS, recover_at_ms=recover_at_ms)
     print(f"fault schedule: crash s1 at {CRASH_AT_MS} ms, "
-          f"recover at {RECOVER_AT_MS} ms\n")
+          f"recover at {recover_at_ms} ms\n")
 
-    result = cluster.run(drain_ms=120.0)
+    result = cluster.run(drain_ms=250.0 if lease else 120.0)
 
-    rset = cluster.catalog.replica_set("people")
-    print(f"after: {rset} (epoch {cluster.catalog.epoch('people')})")
+    # Under the lease detector the *shared* catalog never moves — each
+    # site's own view does. Report a survivor's view.
+    catalog = cluster.site("s2").catalog if lease else cluster.catalog
+    rset = catalog.replica_set("people")
+    print(f"after: {rset} (epoch {catalog.epoch('people')})")
     for when, doc_name, old, new, epoch in cluster.faults.stats.promotion_log:
         print(f"  t={when:.2f} ms: {doc_name}: {old} -> {new} (epoch {epoch})")
     print(result.summary())

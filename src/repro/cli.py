@@ -9,6 +9,7 @@ Usage::
     python -m repro protocols               # list registered protocols
     python -m repro replication             # ROWA factor x read-ratio sweep
     python -m repro availability            # eager vs lazy under crashes
+    python -m repro partitions              # lease-timeout sweep under a network split
     python -m repro bench                   # trajectory harness -> BENCH_<n>.json
     python -m repro bench --check           # wall-clock regression gate (CI)
 """
@@ -165,6 +166,41 @@ def _run_availability(full: bool, crashes: list[int] | None, out=sys.stdout) -> 
     return 0
 
 
+def _run_partitions(full: bool, lease_timeouts: list[float] | None, out=sys.stdout) -> int:
+    from .experiments.partitions import (
+        PartitionSweepParams,
+        check_partition_sweep,
+        partition_sweep,
+    )
+
+    params = PartitionSweepParams.dense() if full else PartitionSweepParams.from_env()
+    if lease_timeouts is not None:
+        from dataclasses import replace
+
+        params = replace(params, lease_timeouts=tuple(lease_timeouts))
+    result = partition_sweep(params)
+    print("== partitions ==", file=out)
+    for metric, fmt in (
+        ("committed", "{:9.0f}"),
+        ("aborted", "{:9.0f}"),
+        ("failed", "{:9.0f}"),
+        ("suspicions", "{:9.0f}"),
+        ("false_suspicions", "{:9.0f}"),
+        ("elections_won", "{:9.0f}"),
+        ("lease_refusals", "{:9.0f}"),
+        ("divergent_replicas", "{:9.0f}"),
+    ):
+        print(result.render(metric, fmt), file=out)
+        print(file=out)
+    try:
+        for note in check_partition_sweep(result):
+            print(f"  {note}", file=out)
+    except AssertionError as exc:
+        print(f"  SHAPE CHECK FAILED: {exc}", file=out)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -202,6 +238,17 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         help="crash counts to sweep (default: 0 1 2)",
     )
 
+    p_part = sub.add_parser(
+        "partitions",
+        help="lease-based membership under a network split: availability "
+        "and consistency across lease timeouts",
+    )
+    p_part.add_argument("--full", action="store_true", help="denser sweep")
+    p_part.add_argument(
+        "--lease-timeouts", nargs="+", type=float, default=None, metavar="MS",
+        help="lease timeouts (ms) to sweep (default: 2 4 8 16)",
+    )
+
     # The bench harness owns its own argparse surface (it is also runnable
     # as benchmarks/trajectory.py); register a stub for --help discovery
     # but dispatch before parsing so its flags are defined exactly once.
@@ -231,6 +278,8 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         return _run_replication(args.full, args.read_policy, out)
     if args.command == "availability":
         return _run_availability(args.full, args.crashes, out)
+    if args.command == "partitions":
+        return _run_partitions(args.full, args.lease_timeouts, out)
     return 2  # pragma: no cover
 
 

@@ -134,6 +134,30 @@ class SystemConfig:
         unchanged. Pure wall-clock optimisation: the cached spec retains
         its ``nodes_visited`` meter, so *simulated* costs and schedules
         are bit-identical with the cache on or off.
+    failure_detector:
+        How the cluster learns about membership. ``"perfect"`` (default,
+        the paper's modeling assumption) is the oracle: crashes are
+        announced within one hop by an omniscient monitor that reads
+        candidates' log tips directly — schedules are bit-identical to
+        the pre-membership-refactor code. ``"lease"`` removes the oracle:
+        every membership fact travels as a message — sites heartbeat each
+        other, a peer is *suspected* only when its lease expires, primary
+        election is a LogTipQuery/LogTipReport exchange requiring reports
+        from a majority of the replica set, and the winner's epoch-bumped
+        PrimaryAnnounce (plus heartbeat-carried views) re-points each
+        site's own catalog view. Under ``"lease"`` network partitions and
+        false suspicion become survivable: split-brain is prevented by
+        epoch fencing and the commit-time sync quorum, not by the oracle.
+    heartbeat_interval_ms:
+        Period of each site's heartbeat broadcast (``"lease"`` only).
+    lease_timeout_ms:
+        A peer is suspected once nothing was heard from it for this long
+        (``"lease"`` only). Must comfortably exceed
+        ``heartbeat_interval_ms`` plus network jitter, or live sites get
+        falsely suspected under load.
+    election_timeout_ms:
+        How long an election waits for LogTipReports before deciding (or
+        giving up for lack of a majority) (``"lease"`` only).
     """
 
     network: NetworkConfig = field(default_factory=NetworkConfig)
@@ -156,6 +180,10 @@ class SystemConfig:
     wake_policy: str = "broadcast"
     group_commit_window_ms: float = 0.0
     spec_cache: bool = True
+    failure_detector: str = "perfect"
+    heartbeat_interval_ms: float = 1.0
+    lease_timeout_ms: float = 4.0
+    election_timeout_ms: float = 4.0
 
     def validate(self) -> None:
         self.network.validate()
@@ -184,6 +212,20 @@ class SystemConfig:
             )
         if self.group_commit_window_ms < 0:
             raise ConfigError("group_commit_window_ms must be >= 0")
+        if self.failure_detector not in ("perfect", "lease"):
+            raise ConfigError(
+                f"failure_detector must be 'perfect' or 'lease', "
+                f"got {self.failure_detector!r}"
+            )
+        if self.heartbeat_interval_ms <= 0:
+            raise ConfigError("heartbeat_interval_ms must be > 0")
+        if self.lease_timeout_ms <= self.heartbeat_interval_ms:
+            raise ConfigError(
+                "lease_timeout_ms must exceed heartbeat_interval_ms "
+                "(a lease shorter than one heartbeat suspects everyone)"
+            )
+        if self.election_timeout_ms <= 0:
+            raise ConfigError("election_timeout_ms must be > 0")
 
     def with_(self, **kwargs) -> "SystemConfig":
         """Return a copy with the given top-level fields replaced."""

@@ -20,7 +20,7 @@ from typing import Callable, Hashable, Optional, Sequence
 
 from ..config import DEFAULT_CONFIG, SystemConfig
 from ..distribution.allocation import Allocation
-from ..distribution.catalog import Catalog
+from ..distribution.catalog import Catalog, CatalogView
 from ..distribution.replication import ReplicationPolicy
 from ..errors import ConfigError
 from ..protocols import ConcurrencyProtocol, make_protocol
@@ -55,7 +55,13 @@ class DTXCluster:
         self.sites: dict[Hashable, DTXSite] = {}
         self.clients: list[Client] = []
         self.detector: Optional[DeadlockDetector] = None
-        self.faults = FaultManager(self.env, self.network, self.catalog, self.sites)
+        self.faults = FaultManager(
+            self.env,
+            self.network,
+            self.catalog,
+            self.sites,
+            detector=self.config.failure_detector,
+        )
         self._backend_factory = backend_factory or InMemoryStore
         self._started = False
 
@@ -68,13 +74,22 @@ class DTXCluster:
         if site_id in self.sites:
             raise ConfigError(f"site {site_id!r} already exists")
         protocol: ConcurrencyProtocol = make_protocol(self.protocol_name)
+        # Under the lease detector every site holds its *own* catalog view:
+        # primary/epoch facts at that site advance only by PrimaryAnnounce
+        # and heartbeat-carried views, never by another site's mutation.
+        # The perfect detector keeps the shared object (the oracle).
+        catalog = (
+            CatalogView(self.catalog)
+            if self.config.failure_detector == "lease"
+            else self.catalog
+        )
         site = DTXSite(
             env=self.env,
             network=self.network,
             site_id=site_id,
             protocol=protocol,
             backend=self._backend_factory(),
-            catalog=self.catalog,
+            catalog=catalog,
             config=self.config,
             replication=self.replication,
         )
@@ -223,6 +238,37 @@ class DTXCluster:
             self.env.schedule_call(
                 recover_at_ms - self.env.now, self.recover_site, site_id
             )
+
+    def partition_network(self, *groups) -> None:
+        """Split the network now: sites in different groups cannot talk.
+
+        Sites in no listed group form one implicit extra group. Every site
+        stays alive — with ``failure_detector="lease"`` each side suspects
+        the other once leases expire, and only a side holding a majority
+        of a document's replicas can elect a new primary for it."""
+        self.network.partition(*groups)
+
+    def heal_network(self) -> None:
+        """Reconnect all partition groups (in-flight cut messages stay lost)."""
+        self.network.heal_partition()
+
+    def schedule_partition(
+        self,
+        groups: Sequence[Sequence[Hashable]],
+        at_ms: float,
+        heal_at_ms: Optional[float] = None,
+    ) -> None:
+        """Partition the network at ``at_ms`` (and heal it at ``heal_at_ms``),
+        driven through the simulation kernel like ``schedule_crash``."""
+        if at_ms < self.env.now:
+            raise ConfigError(f"cannot schedule a partition in the past ({at_ms})")
+        if heal_at_ms is not None and heal_at_ms <= at_ms:
+            raise ConfigError("heal_at_ms must be after at_ms")
+        self.env.schedule_call(
+            at_ms - self.env.now, self.partition_network, *[list(g) for g in groups]
+        )
+        if heal_at_ms is not None:
+            self.env.schedule_call(heal_at_ms - self.env.now, self.heal_network)
 
     # -- inspection ----------------------------------------------------------------
 

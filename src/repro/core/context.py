@@ -33,6 +33,7 @@ class OpEntry:
     lock_pairs: list = field(default_factory=list)  # (key, mode) newly granted
     executed: bool = False
     op: Optional[Operation] = None  # the operation itself (update logging)
+    result_size: int = 0  # query answer bytes (replayed on duplicate delivery)
 
 
 @dataclass

@@ -231,6 +231,91 @@ class FailNotice:
 
 
 @dataclass
+class HeartbeatMessage:
+    """Site -> every other site: I am alive (``failure_detector="lease"``).
+
+    The carrier of all lease-mode membership facts. ``incarnation`` lets
+    receivers fence work queued by earlier lives of the sender;
+    ``watermarks`` maps each replicated document the sender hosts to its
+    applied-LSN watermark (what log compaction at the primary is based
+    on); ``views`` maps each such document to the sender's
+    ``(epoch, primary)`` belief, so election outcomes keep disseminating
+    after the one-shot :class:`PrimaryAnnounce` (a site partitioned away
+    during the announce learns the new primary from the first heartbeat
+    that reaches it).
+    """
+
+    sender: Hashable
+    incarnation: int = 0
+    seq: int = 0
+    watermarks: dict = field(default_factory=dict)  # doc_name -> applied_lsn
+    views: dict = field(default_factory=dict)  # doc_name -> (epoch, primary)
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 12 + 16 * len(self.watermarks) + 20 * len(self.views)
+
+
+@dataclass
+class LogTipQuery:
+    """Elector -> every replica holder: report your log tip for ``doc_name``.
+
+    The first half of the over-the-wire election round
+    (``failure_detector="lease"``). ``epoch`` is the elector's current
+    view — candidates answering with a newer view reveal a finished
+    election the elector missed.
+    """
+
+    doc_name: str
+    elector: Hashable
+    election_id: int
+    epoch: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 16
+
+
+@dataclass
+class LogTipReport:
+    """Candidate -> elector: my durable log tip for ``doc_name``.
+
+    A report from the *suspected primary itself* is proof of life and
+    cancels the election (false suspicion). ``epoch`` is the candidate's
+    view epoch — a report carrying a newer epoch than the elector's view
+    means the election already happened elsewhere.
+    """
+
+    doc_name: str
+    site: Hashable
+    election_id: int
+    applied_lsn: int
+    max_recorded_lsn: int
+    epoch: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 28
+
+
+@dataclass
+class PrimaryAnnounce:
+    """New primary -> every site: I lead ``doc_name`` under ``epoch`` now.
+
+    The election result as a message. Receivers apply it to their own
+    catalog view iff ``epoch`` is newer than what they believe (stale
+    announces of older elections are ignored), then nudge their catch-up
+    if they host the document — the new primary may hold batches the old
+    one never shipped to them.
+    """
+
+    doc_name: str
+    primary: Hashable
+    epoch: int
+    announcer: Hashable = None
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 16
+
+
+@dataclass
 class SiteDownNotice:
     """Failure monitor -> every live site: ``site`` crashed.
 

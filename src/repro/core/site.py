@@ -43,6 +43,7 @@ from ..xml.parser import parse_document
 from ..xml.serializer import serialize_document
 from ..xpath.evaluator import EvalStats, evaluate
 from .context import CoordinatorRecord, OpEntry, SiteTxContext, _AbortTx, _SiteCrashed
+from .faults import SiteMembership
 from .messages import (
     AbortAck,
     AbortOrder,
@@ -53,6 +54,10 @@ from .messages import (
     CommitAck,
     CommitRequest,
     FailNotice,
+    HeartbeatMessage,
+    LogTipQuery,
+    LogTipReport,
+    PrimaryAnnounce,
     RemoteOpRequest,
     RemoteOpResult,
     ReplicaSyncAck,
@@ -134,8 +139,19 @@ class SiteStats:
     catchup_entries_replayed: int = 0
     catchup_snapshots: int = 0  # divergent logs healed by state transfer
     syncs_refused: int = 0  # stale-epoch / fault-hook sync refusals served
-    lazy_batches_propagated: int = 0  # log entries pushed asynchronously
+    lazy_batches_propagated: int = 0  # lazy ReplicaSyncBatch messages sent
+    lazy_entries_coalesced: int = 0  # log entries that rode a lazy batch
     orphans_resolved: int = 0  # transactions of dead coordinators settled
+    # Lease-mode membership (failure_detector="lease").
+    heartbeats_sent: int = 0
+    suspicions: int = 0  # peers whose lease expired at this site
+    false_suspicions: int = 0  # suspected peers that turned out alive
+    elections_started: int = 0
+    elections_won: int = 0  # this site assumed primacy of a document
+    elections_no_quorum: int = 0  # rounds abandoned for lack of a majority
+    announces_applied: int = 0  # newer (epoch, primary) facts adopted
+    lease_refusals: int = 0  # writes refused for want of a primacy lease
+    log_entries_compacted: int = 0  # entries checkpointed out of UpdateLogs
 
 
 class DTXSite:
@@ -222,8 +238,28 @@ class DTXSite:
         self.refuse_sync: set[TxId | str] = set()
         self.crash_points: set[str] = set()
 
+        # Lease-based membership (failure_detector="lease"): this site's
+        # own lease table plus election bookkeeping. ``None`` under the
+        # perfect detector — no heartbeat processes run, no extra messages
+        # or RNG draws happen, and schedules stay bit-identical to the
+        # oracle-based code.
+        self.membership: Optional[SiteMembership] = None
+        self._elections: dict[str, int] = {}  # doc -> active election id
+        self._election_reports: dict[int, dict] = {}  # id -> site -> report
+        self._election_seq = 0
+        self._heartbeat_seq = 0
+        # Lazy-propagation outbox: doc -> pending UpdateLogEntry list; the
+        # flush that the first entry schedules ships the whole queue as one
+        # ReplicaSyncBatch per live secondary (the group-commit machinery's
+        # batching, reused on the asynchronous path).
+        self._lazy_outboxes: dict[str, list] = {}
+
         env.process(self._listener())
         env.process(self._participant_loop())
+        if config.failure_detector == "lease":
+            self.membership = SiteMembership(lease_timeout_ms=config.lease_timeout_ms)
+            env.process(self._heartbeat_loop())
+            env.process(self._lease_check_loop())
 
     # ------------------------------------------------------------------
     # document loading
@@ -273,11 +309,52 @@ class DTXSite:
         if not self.alive:
             raise _SiteCrashed()
 
+    def _peer_up(self, site_id: Hashable) -> bool:
+        """Whether *this site believes* ``site_id`` can currently serve.
+
+        Under the perfect detector that is the network's physical truth
+        (the oracle, exactly as before). Under the lease detector it is
+        the local lease table — a suspected peer is treated as down even
+        if it is merely partitioned away, and routing/commit decisions
+        must stay safe under that falseness.
+        """
+        if site_id == self.site_id:
+            return self.alive
+        if self.membership is not None:
+            return self.membership.is_live(site_id)
+        return self.network.is_up(site_id)
+
+    def _has_lease(self, doc_name: str) -> bool:
+        """Primacy lease: may this site serve writes on a document it
+        believes it leads?  Perfect mode: always (the oracle deposes dead
+        primaries instantly).  Lease mode: only while a majority of the
+        replica set is un-suspected — a primary cut off from its
+        secondaries loses the lease within ``lease_timeout_ms`` and
+        refuses further writes, so a partitioned minority cannot keep
+        committing on a timeline the rest of the cluster has re-elected
+        away (no split-brain by fencing, not by perfect knowledge)."""
+        if self.membership is None:
+            return True
+        rset = self.catalog.replica_set(doc_name)
+        if not rset.is_replicated:
+            return True
+        live = 1 + sum(1 for s in rset.secondaries if self.membership.is_live(s))
+        return 2 * live > rset.degree
+
     def _coordinator_valid(self, coordinator: Hashable, incarnation: int) -> bool:
         """Whether the sending coordinator is still the incarnation that
         queued this work (alive and never restarted since)."""
         if coordinator == self.site_id:
             return self.alive and incarnation == self.incarnation
+        if self.membership is not None:
+            # Lease mode: judged from heartbeat-carried facts, not the
+            # oracle. A suspected coordinator is treated as dead; a known
+            # *newer* incarnation proves the sender restarted since
+            # queueing. Heartbeat lag can let a dead coordinator's work
+            # through — orphan resolution settles it later.
+            if not self.membership.is_live(coordinator):
+                return False
+            return self.membership.incarnation_of(coordinator) <= incarnation
         if not self.network.is_up(coordinator):
             return False
         if self.faults is None:
@@ -363,6 +440,14 @@ class DTXSite:
                 self._on_site_down(msg.site)
             elif isinstance(msg, SiteUpNotice):
                 self._on_site_up(msg.site)
+            elif isinstance(msg, HeartbeatMessage):
+                self._on_heartbeat(msg)
+            elif isinstance(msg, LogTipQuery):
+                self._on_log_tip_query(msg)
+            elif isinstance(msg, LogTipReport):
+                self._on_log_tip_report(msg)
+            elif isinstance(msg, PrimaryAnnounce):
+                self._on_primary_announce(msg)
             elif isinstance(msg, CatchUpRequest):
                 self.env.process(self._handle_catchup_request(msg))
             elif isinstance(msg, CatchUpResponse):
@@ -387,7 +472,41 @@ class DTXSite:
     # ------------------------------------------------------------------
 
     def _execute_operation(self, tid: TxId, coordinator: Hashable, op: Operation) -> LocalResult:
+        if (
+            op.kind is not OpKind.QUERY
+            and self.membership is not None
+            and self.replication.is_primary_copy
+        ):
+            # Lease-mode write fence, checked *before* any lock is taken:
+            # this site executes a primary-copy update only while it both
+            # believes it leads the document and holds the primacy lease
+            # (a majority of the replica set un-suspected). A deposed
+            # primary that already learned of the new epoch, or a
+            # partitioned primary whose lease ran out, refuses — the
+            # oracle used to make this state unreachable; fencing now has
+            # to.
+            rset = self.catalog.replica_set(op.doc_name)
+            if rset.is_replicated and (
+                rset.primary != self.site_id or not self._has_lease(op.doc_name)
+            ):
+                self.stats.lease_refusals += 1
+                return LocalResult(acquired=True, executed=False, failed=True)
         ctx = self.tx_contexts.get(tid)
+        if ctx is not None:
+            prior = ctx.op_entries.get(op.index)
+            if prior is not None:
+                # Duplicate delivery: the operation already ran here (its
+                # locks are held, its effects applied) and the coordinator
+                # re-shipped it because the response was lost — under the
+                # lease detector a cut shorter than the lease loses
+                # messages without anyone being suspected. Replay the
+                # recorded outcome instead of executing twice.
+                return LocalResult(
+                    acquired=True,
+                    executed=prior.executed,
+                    failed=not prior.executed,
+                    result_size=prior.result_size,
+                )
         if ctx is None:
             ctx = self.tx_contexts[tid] = SiteTxContext(tid=tid, coordinator=coordinator)
         costs = self.costs
@@ -443,6 +562,7 @@ class DTXSite:
                 result = evaluate(op.payload, doc, eval_stats)
                 entry.executed = True
                 size = 96 * len(result)
+                entry.result_size = size
                 cost += eval_stats.nodes_visited * costs.node_visit_ms
                 self.tx_contexts[tid].op_entries[op.index] = entry
                 self.stats.ops_executed += 1
@@ -987,6 +1107,40 @@ class DTXSite:
         rec.down_acks = set()
         rec.ack_event = self.env.event()
 
+    def _round_timeout_ms(self) -> float:
+        """Upper bound on a lease-mode protocol round.
+
+        By this long, a peer that stayed silent either had its lease
+        expire (suspicion unstuck the round already) or is alive and the
+        message was simply lost to a cut shorter than the lease — either
+        way, waiting longer cannot help.
+        """
+        return 2 * self.config.lease_timeout_ms + self.config.election_timeout_ms
+
+    def _await_acks(self, rec: CoordinatorRecord):
+        """Wait out the current ack round; bounded under the lease detector.
+
+        The perfect detector guarantees every ack arrives or a
+        SiteDownNotice unsticks the round. Without the oracle a message
+        lost to a partition *shorter than the lease* has no such backstop
+        — nobody gets suspected, so nothing would ever fire. On timeout
+        the round settles with the acks that did arrive; peers that never
+        answered are recorded like crashed-mid-round participants
+        (``down_acks`` — outcome unknown), which the commit path already
+        knows how to degrade safely.
+        """
+        if self.membership is None:
+            acks = yield rec.ack_event
+            return acks
+        timeout_ev = self.env.timeout(self._round_timeout_ms(), value=None)
+        fired = yield self.env.any_of([rec.ack_event, timeout_ev])
+        if rec.ack_event in fired:
+            return fired[rec.ack_event]
+        for key in set(rec.ack_expected) - set(rec.acks):
+            rec.down_acks.add(key[0] if isinstance(key, tuple) else key)
+        rec.ack_event = None
+        return dict(rec.acks)
+
     # ------------------------------------------------------------------
     # coordinator (Algorithm 1 + commit/abort procedures, Algorithms 5-6)
     # ------------------------------------------------------------------
@@ -1065,13 +1219,26 @@ class DTXSite:
             # paper's write-everywhere regime a single dead replica makes
             # eager write-all impossible (there is no log to catch the dead
             # copy up from), so updates refuse instead of diverging.
-            live_sites = [s for s in sites if self.network.is_up(s)]
+            live_sites = [s for s in sites if self._peer_up(s)]
             if not live_sites:
                 raise _AbortTx("no-live-replica")
             if len(live_sites) < len(sites) and op.kind is OpKind.UPDATE:
                 if not self.replication.is_primary_copy:
                     raise _AbortTx("replica-down")
             sites = live_sites
+            if (
+                op.kind is OpKind.UPDATE
+                and self.membership is not None
+                and self.replication.is_primary_copy
+                and sites == [self.site_id]
+                and not self._has_lease(op.doc_name)
+            ):
+                # This coordinator is the routed primary but cannot prove
+                # a majority of the replica set alive: refuse with the
+                # precise reason instead of the participant path's generic
+                # operation failure.
+                self.stats.lease_refusals += 1
+                raise _AbortTx("no-primary-lease")
             tx.sites_involved.update(sites)
             yield self.env.timeout(self.costs.scheduler_dispatch_ms)
             self._check_alive()
@@ -1094,7 +1261,16 @@ class DTXSite:
                         attempt=rec.attempt, incarnation=self.incarnation,
                     ),
                 )
-            results = yield rec.response_event
+            if self.membership is None:
+                results = yield rec.response_event
+            else:
+                # Bounded in lease mode: a response lost to a short cut
+                # must not wait on a suspicion that will never come. The
+                # never-answering sites flow into ``missing`` below, and
+                # the retry re-ships the operation (attempt-fenced).
+                timeout_ev = self.env.timeout(self._round_timeout_ms(), value=None)
+                fired = yield self.env.any_of([rec.response_event, timeout_ev])
+                results = fired.get(rec.response_event, dict(rec.responses))
             rec.response_event = None
             self._check_alive()
             tx.stats.op_attempts += 1
@@ -1121,7 +1297,7 @@ class DTXSite:
             executed_sites = [
                 r.site
                 for r in results.values()
-                if r.executed and self.network.is_up(r.site)
+                if r.executed and self._peer_up(r.site)
             ]
             if executed_sites:
                 self._collect_acks(rec, "undo", executed_sites)
@@ -1134,7 +1310,7 @@ class DTXSite:
                             op_index=op.index, attempt=rec.attempt,
                         ),
                     )
-                yield rec.ack_event
+                yield from self._await_acks(rec)
                 rec.phase = ""
                 self._check_alive()
 
@@ -1206,7 +1382,7 @@ class DTXSite:
                 continue  # single copy: commit/abort handle it alone
             origin = rec.write_sites.get(doc_name, set())
             if rset.primary not in origin or any(
-                not self.network.is_up(s) for s in origin
+                not self._peer_up(s) for s in origin
             ):
                 # The copy these updates executed at is no longer the live
                 # primary (it crashed between execution and commit; the
@@ -1244,7 +1420,7 @@ class DTXSite:
                 # secondaries even if the commit later degrades to a
                 # kept-effects failure or this coordinator dies.
                 rec.synced = True
-            elif self.network.is_up(rset.primary):
+            elif self._peer_up(rset.primary):
                 ack_keys.append((rset.primary, doc_name))
                 sends.append(
                     (
@@ -1257,7 +1433,7 @@ class DTXSite:
                     )
                 )
             for target in self.replication.sync_targets(rset):
-                if not self.network.is_up(target):
+                if not self._peer_up(target):
                     continue  # dead secondary: catches up after recovery
                 ack_keys.append((target, doc_name))
                 sends.append(
@@ -1291,19 +1467,38 @@ class DTXSite:
             if failed_reason:
                 rec.abort_reason = failed_reason
                 return False
-        if not ack_keys:
-            return True
-        self._collect_acks(rec, "sync", ack_keys)
-        for target, msg in sends:
-            self.network.send(self.site_id, target, msg)
-        acks = yield rec.ack_event
-        rec.phase = ""
-        self._check_alive()
-        if any(a.ok for a in acks.values()):
-            rec.synced = True
-        if any(not a.ok and a.reason == "stale-epoch" for a in acks.values()):
-            rec.abort_reason = "stale-epoch"
-            return False
+        acks: dict = {}
+        if ack_keys:
+            self._collect_acks(rec, "sync", ack_keys)
+            for target, msg in sends:
+                self.network.send(self.site_id, target, msg)
+            acks = yield from self._await_acks(rec)
+            rec.phase = ""
+            self._check_alive()
+            if any(a.ok for a in acks.values()):
+                rec.synced = True
+            if any(not a.ok and a.reason == "stale-epoch" for a in acks.values()):
+                rec.abort_reason = "stale-epoch"
+                return False
+        if self.membership is not None and not use_group:
+            # Lease-mode sync quorum: the commit point requires the batch
+            # durably recorded at a *majority* of each document's replica
+            # set (the primary's own log record counts one). A primary cut
+            # off from its peers — or a coordinator whose syncs fell into
+            # a partition — cannot reach it, so a minority side never
+            # commits: the other half of the no-split-brain argument.
+            for doc_name in per_doc:
+                rset = self.catalog.replica_set(doc_name)
+                if not rset.is_replicated:
+                    continue
+                durable = 1 if rset.primary == self.site_id else 0
+                for site in rset.all_sites:
+                    ack = acks.get((site, doc_name))
+                    if ack is not None and ack.ok:
+                        durable += 1
+                if 2 * durable <= rset.degree:
+                    rec.abort_reason = "sync-quorum-lost"
+                    return False
         return True
 
     # ------------------------------------------------------------------
@@ -1368,7 +1563,7 @@ class DTXSite:
             if (
                 rset.primary != box.primary
                 or rset.primary not in origin
-                or any(not self.network.is_up(s) for s in origin)
+                or any(not self._peer_up(s) for s in origin)
             ):
                 waiter.succeed(
                     {"ok": False, "synced": False, "reason": "participant-crashed"}
@@ -1402,13 +1597,24 @@ class DTXSite:
         elif self.network.is_up(rset.primary):
             targets.append((rset.primary, True))
         for target in self.replication.sync_targets(rset):
-            if self.network.is_up(target):
+            if self._peer_up(target):
                 targets.append((target, False))
+        local_durable = 1 if rset.primary == self.site_id else 0
         if not targets:
             # We are the primary and no secondary is reachable: the local
-            # durable record above is all the syncing there is to do.
+            # durable record above is all the syncing there is to do —
+            # which under the lease detector's sync quorum is not enough.
             for rec, _, waiter in valid:
-                waiter.succeed({"ok": True, "synced": rec.synced, "reason": ""})
+                quorum_lost = (
+                    self.membership is not None and 2 * local_durable <= rset.degree
+                )
+                waiter.succeed(
+                    {
+                        "ok": not quorum_lost,
+                        "synced": rec.synced,
+                        "reason": "sync-quorum-lost" if quorum_lost else "",
+                    }
+                )
             return
         self._batch_seq += 1
         batch_id = self._batch_seq
@@ -1426,26 +1632,46 @@ class DTXSite:
                 ),
             )
             self.stats.group_batches_sent += 1
-        yield state.event
+        if self.membership is None:
+            yield state.event
+        else:
+            # Same boundedness as _await_acks: a batch ack lost to a short
+            # cut settles the round with whatever arrived (missing sites
+            # count nothing toward the sync quorum).
+            timeout_ev = self.env.timeout(self._round_timeout_ms(), value=None)
+            yield self.env.any_of([state.event, timeout_ev])
         self._sync_batches.pop(batch_id, None)
         if self._outbox_died(box, incarnation):
             return
         for rec, _, waiter in valid:
             ok_any = False
             stale = False
+            durable = local_durable
             for ack in state.acks.values():
                 result = ack.results.get(rec.tid)
                 if result is None:
                     continue
                 if result[0]:
                     ok_any = True
+                    durable += 1
                 elif result[1] == "stale-epoch":
                     stale = True
+            quorum_lost = (
+                self.membership is not None
+                and rset.is_replicated
+                and 2 * durable <= rset.degree
+            )
+            if stale:
+                reason = "stale-epoch"
+            elif quorum_lost:
+                reason = "sync-quorum-lost"
+            else:
+                reason = ""
             waiter.succeed(
                 {
-                    "ok": not stale,
+                    "ok": not stale and not quorum_lost,
                     "synced": ok_any or rec.synced,
-                    "reason": "stale-epoch" if stale else "",
+                    "reason": reason,
                 }
             )
 
@@ -1472,7 +1698,7 @@ class DTXSite:
         others = sorted(
             (s for s in rec.tx.sites_involved if s != self.site_id), key=str
         )
-        live = [s for s in others if self.network.is_up(s)]
+        live = [s for s in others if self._peer_up(s)]
         if len(live) < len(others) and not rec.synced:
             # A participant died holding this transaction's state and
             # nothing is durable beyond the survivors: unwind.
@@ -1486,7 +1712,7 @@ class DTXSite:
                 )
             if self._maybe_crash("commit-request-sent"):
                 raise _SiteCrashed()
-            acks = yield rec.ack_event
+            acks = yield from self._await_acks(rec)
             rec.phase = ""
             self._check_alive()
             ok_acks = [a for a in acks.values() if a.ok]
@@ -1515,7 +1741,7 @@ class DTXSite:
         others = sorted(
             (s for s in rec.tx.sites_involved if s != self.site_id), key=str
         )
-        live = [s for s in others if self.network.is_up(s)]
+        live = [s for s in others if self._peer_up(s)]
         if rec.synced or rec.partial_commit:
             # The commit-time sync already recorded the updates durably
             # beyond the primary (or part of the commit round already
@@ -1538,7 +1764,7 @@ class DTXSite:
                 self.network.send(
                     self.site_id, site, AbortRequest(tid=rec.tid, coordinator=self.site_id)
                 )
-            acks = yield rec.ack_event
+            acks = yield from self._await_acks(rec)
             rec.phase = ""
             self._check_alive()
             if not all(a.ok for a in acks.values()):
@@ -1610,6 +1836,18 @@ class DTXSite:
             if state.event is not None and not state.event.triggered:
                 state.event.succeed(None)
         self._sync_batches.clear()
+        # Pending lazy flushes die with the site (their entries are in the
+        # durable log; whether they survive depends on who gets promoted —
+        # the lazy regime's documented loss window).
+        self._lazy_outboxes.clear()
+        if self.membership is not None:
+            # The lease table and election state are volatile: a recovered
+            # site re-learns the world from the heartbeats that greet it.
+            self.membership = SiteMembership(
+                lease_timeout_ms=self.config.lease_timeout_ms
+            )
+            self._elections.clear()
+            self._election_reports.clear()
         self._stable.clear()  # in-memory staging; its durable form is storage
         self.wfg = WaitForGraph()
         self.lock_manager = LockManager(LockTable(self.protocol.matrix), self.wfg)
@@ -1744,6 +1982,338 @@ class DTXSite:
                 self.nudge_catch_up(name)
 
     # ------------------------------------------------------------------
+    # lease-based membership (failure_detector="lease")
+    # ------------------------------------------------------------------
+
+    def _membership_peers(self) -> list:
+        """Every other registered site, in deterministic order."""
+        return sorted(
+            (s for s in self.network.site_ids if s != self.site_id), key=str
+        )
+
+    def _heartbeat_loop(self):
+        """Broadcast this site's liveness (and membership facts) forever.
+
+        Every beat carries the sender's incarnation, its applied-LSN
+        watermark per hosted replicated document (log compaction input)
+        and its (epoch, primary) view per such document (so election
+        results keep disseminating after the one-shot announce). A dead
+        site simply skips its beats — silence *is* the failure signal.
+        """
+        interval = self.config.heartbeat_interval_ms
+        while True:
+            yield self.env.timeout(interval)
+            if not self.alive:
+                continue
+            watermarks: dict = {}
+            views: dict = {}
+            for name in sorted(self.data_manager.live_documents()):
+                if not self.catalog.has_document(name):
+                    continue
+                if not self.catalog.replica_set(name).is_replicated:
+                    continue
+                watermarks[name] = self.log_for(name).applied_lsn
+                views[name] = self._view_of(name)
+            self._heartbeat_seq += 1
+            beat = HeartbeatMessage(
+                sender=self.site_id,
+                incarnation=self.incarnation,
+                seq=self._heartbeat_seq,
+                watermarks=watermarks,
+                views=views,
+            )
+            for peer in self._membership_peers():
+                self.network.send(self.site_id, peer, beat)
+                self.stats.heartbeats_sent += 1
+
+    def _view_of(self, doc_name: str) -> tuple:
+        """This site's ``(epoch, primary)`` belief for ``doc_name``."""
+        view_of = getattr(self.catalog, "view_of", None)
+        if view_of is not None:
+            return view_of(doc_name)
+        return self.catalog.epoch(doc_name), self.catalog.replica_set(doc_name).primary
+
+    def _lease_check_loop(self):
+        """Expire peers' leases; suspicion is the lease-mode 'down' event."""
+        interval = self.config.heartbeat_interval_ms
+        while True:
+            self.membership.grace(self._membership_peers(), self.env.now)
+            yield self.env.timeout(interval)
+            if not self.alive:
+                continue
+            for peer in self._membership_peers():
+                if self.membership.is_live(peer) and self.membership.lease_expired(
+                    peer, self.env.now
+                ):
+                    self._suspect(peer)
+
+    def _suspect(self, peer: Hashable) -> None:
+        """This site now believes ``peer`` is down (it may be wrong).
+
+        Everything the perfect detector's SiteDownNotice did, done on a
+        local belief instead: unstick coordinators, settle orphans, drop
+        the peer from ack rounds — all of which stays correct under false
+        suspicion because unsynced orphans abort and synced ones commit,
+        the same outcome the (alive) coordinator converges to from its
+        side of the cut. Then start elections for every hosted document
+        the suspect led.
+        """
+        self.membership.suspected.add(peer)
+        self.stats.suspicions += 1
+        # Oracle read for *statistics only* (never behaviour): was this
+        # suspicion false? The experiment sweeps report it.
+        if self.faults is not None and self.faults.sites[peer].alive:
+            self.stats.false_suspicions += 1
+        self._on_site_down(peer)
+        for name in sorted(self.data_manager.live_documents()):
+            if not self.catalog.has_document(name):
+                continue
+            rset = self.catalog.replica_set(name)
+            if rset.is_replicated and rset.primary == peer:
+                self._maybe_start_election(name)
+
+    def _on_heartbeat(self, msg: HeartbeatMessage) -> None:
+        if not self.alive or self.membership is None:
+            return
+        came_back = self.membership.heard_from(
+            msg.sender, self.env.now, msg.incarnation
+        )
+        self.membership.watermarks[msg.sender] = dict(msg.watermarks)
+        for doc_name, (epoch, primary) in sorted(msg.views.items()):
+            self._adopt_view(doc_name, primary, epoch)
+        # Anti-entropy: the primary's heartbeat advertises its applied
+        # watermark. A replica that sees itself behind reconciles by
+        # catch-up — this is what heals a batch whose sync fell into a cut
+        # too short to trigger suspicion (no election, no gap-detecting
+        # next write: without this nudge the divergence would be silent
+        # and permanent).
+        for doc_name, watermark in sorted(msg.watermarks.items()):
+            if not self.catalog.has_document(doc_name):
+                continue
+            rset = self.catalog.replica_set(doc_name)
+            if (
+                rset.primary == msg.sender
+                and self.site_id in rset
+                and watermark > self.log_for(doc_name).applied_lsn
+            ):
+                self.nudge_catch_up(doc_name)
+        if came_back:
+            # False suspicion (or a recovery we had written off): the peer
+            # is talking again. Re-run the perfect detector's up-notice
+            # duties — if it leads documents we host, our catch-up attempts
+            # may have been swallowed while we thought it dead.
+            self._on_site_up(msg.sender)
+        self._compact_leading_logs(msg.watermarks)
+
+    def _compact_leading_logs(self, advertised: dict) -> None:
+        """Checkpoint the update logs of documents this site leads.
+
+        An entry every replica's reported watermark has passed can never
+        be needed by a catch-up request again (requests ask for entries
+        *above* the requester's watermark): fold it into the snapshot
+        base. A silent replica freezes the floor — compaction simply
+        stalls rather than compacting past anyone. Only the documents the
+        just-received heartbeat ``advertised`` are rechecked: nothing
+        else's floor can have moved.
+        """
+        for name in advertised:
+            if not self.catalog.has_document(name) or name not in self.logs:
+                continue
+            rset = self.catalog.replica_set(name)
+            if not rset.is_replicated or rset.primary != self.site_id:
+                continue
+            floor = min(
+                self.membership.watermark_of(peer, name)
+                for peer in rset.secondaries
+            )
+            if floor > self.log_for(name).base_lsn:
+                self.stats.log_entries_compacted += self.log_for(name).compact_to(
+                    floor
+                )
+
+    def _adopt_view(self, doc_name: str, primary: Hashable, epoch: int) -> None:
+        """Apply a newer (epoch, primary) fact to this site's catalog view."""
+        apply_primary = getattr(self.catalog, "apply_primary", None)
+        if apply_primary is None or not self.catalog.has_document(doc_name):
+            return
+        if not apply_primary(doc_name, primary, epoch):
+            return  # stale fact: an older election we already know about
+        self.stats.announces_applied += 1
+        # A view change can moot a running election (someone already won).
+        # The election generator re-checks the view each round; nothing to
+        # cancel here. But a replica that just learned of a new primary may
+        # hold batches the old one never shipped — reconcile.
+        if primary != self.site_id:
+            rset = self.catalog.replica_set(doc_name)
+            if self.site_id in rset:
+                self.nudge_catch_up(doc_name)
+
+    def _on_primary_announce(self, msg: PrimaryAnnounce) -> None:
+        if not self.alive or self.membership is None:
+            return
+        self._adopt_view(msg.doc_name, msg.primary, msg.epoch)
+
+    def _on_log_tip_query(self, msg: LogTipQuery) -> None:
+        """Answer an elector with this replica's durable log tip.
+
+        Any live replica answers — including a falsely suspected primary,
+        whose report is proof of life and cancels the election.
+        """
+        if not self.alive or not self.catalog.has_document(msg.doc_name):
+            return
+        log = self.log_for(msg.doc_name)
+        self.network.send(
+            self.site_id,
+            msg.elector,
+            LogTipReport(
+                doc_name=msg.doc_name,
+                site=self.site_id,
+                election_id=msg.election_id,
+                applied_lsn=log.applied_lsn,
+                max_recorded_lsn=log.max_recorded_lsn,
+                epoch=self.catalog.epoch(msg.doc_name),
+            ),
+        )
+
+    def _on_log_tip_report(self, msg: LogTipReport) -> None:
+        reports = self._election_reports.get(msg.election_id)
+        if reports is not None:
+            reports[msg.site] = msg
+
+    def _maybe_start_election(self, doc_name: str) -> None:
+        if not self.alive or doc_name in self._elections:
+            return
+        rset = self.catalog.replica_set(doc_name)
+        if not rset.is_replicated or self.site_id not in rset:
+            return
+        if rset.primary == self.site_id or self.membership.is_live(rset.primary):
+            return
+        self.env.process(self._run_election(doc_name))
+
+    def _run_election(self, doc_name: str):
+        """Elect a new primary for ``doc_name`` over the wire.
+
+        One round: query every replica's log tip, wait
+        ``election_timeout_ms``, then decide. Deciding requires reports
+        from a **majority** of the replica set (the elector's own tip
+        included) — the minority side of a partition can suspect all it
+        wants, it can never elect, which is half of the no-split-brain
+        argument (the other half is the deposed primary's lease/quorum
+        loss). The most-caught-up reporter wins, placement order breaking
+        ties — the same rule the perfect monitor applied, computed from
+        messages instead of shared memory. Only the winner *assumes*
+        primacy; everyone else waits for its announce (the winner is
+        reachable, so its own suspicion of the old primary drives its own
+        election). A report from the suspected primary itself cancels the
+        round: it is alive, we were wrong.
+        """
+        self._election_seq += 1
+        eid = self._election_seq
+        self._elections[doc_name] = eid
+        self.stats.elections_started += 1
+        try:
+            while self.alive:
+                rset = self.catalog.replica_set(doc_name)
+                suspect = rset.primary
+                if suspect == self.site_id or self.membership.is_live(suspect):
+                    return  # the world moved on: re-elected, or falsely suspected
+                epoch = self.catalog.epoch(doc_name)
+                own_log = self.log_for(doc_name)
+                reports: dict = {
+                    self.site_id: LogTipReport(
+                        doc_name=doc_name,
+                        site=self.site_id,
+                        election_id=eid,
+                        applied_lsn=own_log.applied_lsn,
+                        max_recorded_lsn=own_log.max_recorded_lsn,
+                        epoch=epoch,
+                    )
+                }
+                self._election_reports[eid] = reports
+                for candidate in rset.all_sites:
+                    if candidate != self.site_id:
+                        self.network.send(
+                            self.site_id,
+                            candidate,
+                            LogTipQuery(
+                                doc_name=doc_name,
+                                elector=self.site_id,
+                                election_id=eid,
+                                epoch=epoch,
+                            ),
+                        )
+                yield self.env.timeout(self.config.election_timeout_ms)
+                self._election_reports.pop(eid, None)
+                if not self.alive:
+                    return
+                if suspect in reports or self.membership.is_live(suspect):
+                    # Proof of life — a log-tip report from the suspect, or
+                    # its heartbeats resumed while we collected votes (a
+                    # short partition healing mid-election). Deposing a
+                    # live primary would be safe (fencing) but needless.
+                    return
+                current = self.catalog.epoch(doc_name)
+                if current > epoch or any(r.epoch > current for r in reports.values()):
+                    return  # someone already elected under a newer epoch
+                if 2 * len(reports) <= rset.degree:
+                    # No majority reachable: this side of the cut must not
+                    # elect. Keep retrying — the partition may heal, or we
+                    # may be the minority forever (then nothing commits
+                    # here, which is exactly the point).
+                    self.stats.elections_no_quorum += 1
+                    yield self.env.timeout(self.config.lease_timeout_ms)
+                    continue
+                order = list(rset.all_sites)
+                winner = min(
+                    reports.values(),
+                    key=lambda r: (-r.applied_lsn, order.index(r.site)),
+                ).site
+                if winner != self.site_id:
+                    # The winner reported, so it is live on our side; its
+                    # own election will promote it. Re-check later in case
+                    # that never happens (e.g. its suspicion lags ours).
+                    yield self.env.timeout(self.config.lease_timeout_ms)
+                    continue
+                self._assume_primacy(doc_name, suspect)
+                return
+        finally:
+            self._election_reports.pop(eid, None)
+            if self._elections.get(doc_name) == eid:
+                del self._elections[doc_name]
+
+    def _assume_primacy(self, doc_name: str, deposed: Hashable) -> None:
+        """This site won the election: fence, fix the log, announce.
+
+        The epoch is *claimed*, not computed: concurrent electors that
+        both reached a majority (asymmetric loss, degree >= 5) receive
+        distinct epochs, so the loser is fenceable — two primaries can
+        never serve the same epoch.
+        """
+        new_epoch = self.catalog.claim_epoch(doc_name)
+        log = self.log_for(doc_name)
+        if log.applied_lsn != log.max_recorded_lsn:
+            # A hole inherited at promotion can never fill: its batch died
+            # with (or is fenced away from) the old primary. Compact to a
+            # snapshot base at the tip so catch-up serving keeps working.
+            log.reset_to_snapshot(log.max_recorded_lsn, new_epoch)
+        self.catalog.apply_primary(doc_name, self.site_id, new_epoch)
+        # The new epoch's LSNs continue above everything recorded here;
+        # allocations the deposed primary keeps making live under its own
+        # (fenced) epoch and cannot punch holes in the new timeline.
+        self.catalog.reset_lsn(doc_name, log.max_recorded_lsn)
+        self.stats.elections_won += 1
+        if self.faults is not None:
+            self.faults.record_promotion(doc_name, deposed, self.site_id, new_epoch)
+        announce = PrimaryAnnounce(
+            doc_name=doc_name,
+            primary=self.site_id,
+            epoch=new_epoch,
+            announcer=self.site_id,
+        )
+        for peer in self._membership_peers():
+            self.network.send(self.site_id, peer, announce)
+
+    # ------------------------------------------------------------------
     # update-log catch-up (recovery and gap healing)
     # ------------------------------------------------------------------
 
@@ -1780,7 +2350,7 @@ class DTXSite:
             return False
         rset = self.catalog.replica_set(doc_name)
         primary = rset.primary
-        if primary == self.site_id or not self.network.is_up(primary):
+        if primary == self.site_id or not self._peer_up(primary):
             return False
         gate = self.env.event()
         self._catchup_gates[doc_name] = gate
@@ -1920,6 +2490,11 @@ class DTXSite:
         still held, so per-document log order equals commit order. Only
         replicated documents whose *current* primary is this site are
         logged — under lazy routing that is exactly where updates execute.
+        Entries go into a per-document outbox; the first entry schedules
+        the flush, and everything committed within the staleness window
+        rides the same :class:`ReplicaSyncBatch` (the group-commit wire
+        format, reused on the asynchronous path), so a write burst costs
+        one message per secondary instead of one per transaction.
         """
         for doc_name, ops in ctx.executed_updates_by_doc().items():
             rset = self.catalog.replica_set(doc_name)
@@ -1933,36 +2508,47 @@ class DTXSite:
                 ops=tuple(ops),
             )
             self.log_for(doc_name).record(entry)
-            self.env.process(self._lazy_propagate(entry))
+            pending = self._lazy_outboxes.setdefault(doc_name, [])
+            pending.append(entry)
+            if len(pending) == 1:
+                self.env.process(self._flush_lazy_outbox(doc_name, self.incarnation))
 
-    def _lazy_propagate(self, entry: UpdateLogEntry):
-        """Push one committed batch to the live secondaries, later.
+    def _flush_lazy_outbox(self, doc_name: str, incarnation: int):
+        """Ship a document's pending lazy entries as one batch per target.
 
-        Fire-and-forget after the configured staleness delay: a secondary
-        that misses the batch (down, or refusing) heals through gap
-        catch-up; a crash of this primary inside the delay is the lazy
-        regime's documented loss window (the log survives on disk, but the
-        promoted successor does not have the batch).
+        Fire-and-forget after the staleness delay (entries queued behind
+        the first one ship *earlier* than their own deadline — the bound
+        is an upper bound): a secondary that misses the batch (down, or
+        refusing) heals through gap catch-up; a crash of this primary
+        inside the delay is the lazy regime's documented loss window (the
+        log survives on disk, but the promoted successor does not have
+        the batch).
         """
         yield self.env.timeout(self.config.lazy_staleness_ms)
-        if not self.alive:
+        if not self.alive or self.incarnation != incarnation:
             return
-        rset = self.catalog.replica_set(entry.doc_name)
-        if rset.primary != self.site_id or entry.epoch < self.catalog.epoch(entry.doc_name):
+        entries = self._lazy_outboxes.pop(doc_name, [])
+        rset = self.catalog.replica_set(doc_name)
+        epoch = self.catalog.epoch(doc_name)
+        if rset.primary != self.site_id:
             return  # deposed while the batch waited: fenced
+        entries = [e for e in entries if e.epoch >= epoch]
+        if not entries:
+            return
+        self._batch_seq += 1
+        batch_id = self._batch_seq  # no ack collection: acks are ignored
         for target in rset.secondaries:
-            if not self.network.is_up(target):
+            if not self._peer_up(target):
                 continue
             self.network.send(
                 self.site_id,
                 target,
-                ReplicaSyncRequest(
-                    tid=entry.tid,
+                ReplicaSyncBatch(
                     coordinator=self.site_id,
-                    doc_name=entry.doc_name,
-                    lsn=entry.lsn,
-                    epoch=entry.epoch,
-                    ops=list(entry.ops),
+                    doc_name=doc_name,
+                    batch_id=batch_id,
+                    entries=list(entries),
                 ),
             )
             self.stats.lazy_batches_propagated += 1
+        self.stats.lazy_entries_coalesced += len(entries)

@@ -7,7 +7,7 @@ from .allocation import (
     allocate_replicated,
     allocate_total,
 )
-from .catalog import Catalog
+from .catalog import Catalog, CatalogView
 from .fragmentation import (
     Fragment,
     FragmentationPlan,
@@ -29,6 +29,7 @@ from .replication import (
 __all__ = [
     "Allocation",
     "Catalog",
+    "CatalogView",
     "Fragment",
     "FragmentationPlan",
     "PRIMARY_COPY_POLICIES",

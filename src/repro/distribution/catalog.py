@@ -9,7 +9,7 @@ synchronization cost even for read-only workloads (Fig. 9).
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from typing import Hashable, Iterable, Optional
 
 from ..errors import DistributionError
 from .replication import ReplicaSet
@@ -26,6 +26,17 @@ class Catalog:
         # document's primary-copy write locks are held, so LSN order equals
         # commit order and per-document LSNs are gapless.
         self._next_lsn: dict[str, int] = {}
+        # Lease-mode allocator: one counter per (document, epoch). Views
+        # at different epochs (a deposed primary vs the re-elected one)
+        # allocate independently, so a fenced stale primary cannot punch
+        # holes into the new timeline's LSN sequence.
+        self._epoch_lsn: dict[tuple[str, int], int] = {}
+        # Highest election epoch ever *claimed* per document (lease mode).
+        # Claiming is the uniqueness RPC: no two election winners can be
+        # handed the same epoch, so equal-epoch split-brain (two primaries
+        # whose batches both pass the `epoch < current` fence) is
+        # structurally impossible.
+        self._claimed_epochs: dict[str, int] = {}
 
     def add(self, doc_name: str, site_ids: Iterable[Hashable]) -> None:
         sites = tuple(site_ids)
@@ -88,19 +99,53 @@ class Catalog:
         """Current primary-election epoch of ``doc_name`` (0 = never elected)."""
         return self._epochs.get(doc_name, 0)
 
-    def allocate_lsn(self, doc_name: str) -> int:
+    def claim_epoch(self, doc_name: str, at_least: int = 0) -> int:
+        """Hand out the next election epoch — unique across all claimants.
+
+        The lease-mode election winner's "epoch RPC" (a stand-in for an
+        epoch CAS at a coordination service, the same way ``allocate_lsn``
+        stands in for the primary's LSN counter). Two concurrent electors
+        that both reach a majority — possible under asymmetric message
+        loss with replica degree >= 5 — receive *different* epochs, so
+        the lower one is fenced on first contact with any site that
+        learned the higher one, instead of both serving an identical
+        epoch the `epoch < current` fence cannot tell apart.
+        """
+        epoch = (
+            max(
+                self._claimed_epochs.get(doc_name, 0),
+                self.epoch(doc_name),
+                at_least,
+            )
+            + 1
+        )
+        self._claimed_epochs[doc_name] = epoch
+        return epoch
+
+    def allocate_lsn(self, doc_name: str, epoch: Optional[int] = None) -> int:
         """Hand out the next log sequence number for ``doc_name``.
 
         Called only while the document's primary-copy write locks are held,
         which serializes allocations with commits (in a real deployment this
         counter lives at the primary; the shared catalog stands in for that
-        RPC the same way it stands in for placement lookups).
+        RPC the same way it stands in for placement lookups). With
+        ``epoch`` (lease mode, via :class:`CatalogView`) the sequence is
+        per (document, epoch): the RPC goes to whoever the caller's view
+        *believes* is the primary, and a deposed view's allocations stay
+        on its own fenced timeline.
         """
-        lsn = self._next_lsn.get(doc_name, 0) + 1
-        self._next_lsn[doc_name] = lsn
+        if epoch is None:
+            lsn = self._next_lsn.get(doc_name, 0) + 1
+            self._next_lsn[doc_name] = lsn
+            return lsn
+        key = (doc_name, epoch)
+        lsn = self._epoch_lsn.get(key, self._next_lsn.get(doc_name, 0)) + 1
+        self._epoch_lsn[key] = lsn
         return lsn
 
-    def reset_lsn(self, doc_name: str, from_lsn: int) -> None:
+    def reset_lsn(
+        self, doc_name: str, from_lsn: int, epoch: Optional[int] = None
+    ) -> None:
         """Restart the LSN sequence after a promotion.
 
         The new primary may not have seen the deposed primary's tail; the
@@ -108,9 +153,14 @@ class Catalog:
         *recorded* (its compacted log tip), so no slot it already holds is
         re-allocated at the serving primary — orphaned tail entries
         elsewhere are fenced by the epoch bump that accompanied the
-        promotion and healed by snapshot transfer on contact.
+        promotion and healed by snapshot transfer on contact. ``epoch``
+        seeds the per-(document, epoch) counter of the *new* regime
+        (lease mode).
         """
-        self._next_lsn[doc_name] = from_lsn
+        if epoch is None:
+            self._next_lsn[doc_name] = from_lsn
+        else:
+            self._epoch_lsn[(doc_name, epoch)] = from_lsn
 
     def replication_degree(self, doc_name: str) -> int:
         return len(self.sites_for(doc_name))
@@ -129,3 +179,94 @@ class Catalog:
                 marked.append(f"*{d}*" if self.replication_degree(d) > 1 else d)
             lines.append(f"site {site}: {', '.join(marked)}")
         return "\n".join(lines)
+
+
+class CatalogView:
+    """One site's *own* view of the catalog (``failure_detector="lease"``).
+
+    Under the perfect detector the shared :class:`Catalog` object stands in
+    for the placement/election RPCs: a promotion mutates it and every site
+    sees the change instantly. Lease mode removes that oracle — each site
+    holds a view whose **primary/epoch facts advance only by messages**
+    (:class:`~repro.core.messages.PrimaryAnnounce`, or the view summaries
+    heartbeats carry). Placement (which sites hold a copy) and the LSN
+    allocator stay delegated to the shared catalog: placement is static
+    during a run, and the allocator already stands in for an RPC to the
+    believed primary (mis-directed allocations are fenced by epochs).
+
+    Views at different sites can disagree — that is the point: a deposed
+    primary that has not heard the announce still believes it leads, and
+    must be stopped by epoch fencing and the sync quorum, not by this
+    object.
+    """
+
+    def __init__(self, shared: Catalog) -> None:
+        self._shared = shared
+        self._overrides: dict[str, tuple[Hashable, int]] = {}  # doc -> (primary, epoch)
+
+    # -- membership facts: view-local ---------------------------------------
+
+    def replica_set(self, doc_name: str) -> ReplicaSet:
+        sites = self._shared.sites_for(doc_name)
+        override = self._overrides.get(doc_name)
+        if override is None or override[1] <= self._shared.epoch(doc_name):
+            return self._shared.replica_set(doc_name)
+        primary = override[0]
+        return ReplicaSet(
+            doc_name=doc_name,
+            primary=primary,
+            secondaries=tuple(s for s in sites if s != primary),
+        )
+
+    def epoch(self, doc_name: str) -> int:
+        override = self._overrides.get(doc_name)
+        shared = self._shared.epoch(doc_name)
+        return shared if override is None else max(shared, override[1])
+
+    def apply_primary(self, doc_name: str, primary: Hashable, epoch: int) -> bool:
+        """Adopt an announced election result; False when it is stale."""
+        if epoch <= self.epoch(doc_name):
+            return False
+        if primary not in self._shared.sites_for(doc_name):
+            raise DistributionError(
+                f"announced primary {primary!r} holds no replica of {doc_name!r}"
+            )
+        self._overrides[doc_name] = (primary, epoch)
+        return True
+
+    def view_of(self, doc_name: str) -> tuple[int, Hashable]:
+        """The ``(epoch, primary)`` fact heartbeats disseminate."""
+        return self.epoch(doc_name), self.replica_set(doc_name).primary
+
+    def claim_epoch(self, doc_name: str) -> int:
+        """Claim a unique election epoch, newer than this view's."""
+        return self._shared.claim_epoch(doc_name, at_least=self.epoch(doc_name))
+
+    # -- everything else: delegated -----------------------------------------
+
+    def sites_for(self, doc_name: str) -> tuple[Hashable, ...]:
+        return self._shared.sites_for(doc_name)
+
+    def has_document(self, doc_name: str) -> bool:
+        return self._shared.has_document(doc_name)
+
+    def documents_at(self, site_id: Hashable) -> list[str]:
+        return self._shared.documents_at(site_id)
+
+    def all_documents(self) -> list[str]:
+        return self._shared.all_documents()
+
+    def all_sites(self) -> list:
+        return self._shared.all_sites()
+
+    def allocate_lsn(self, doc_name: str) -> int:
+        # The allocation RPC goes to the primary *this view believes in*:
+        # keyed by the view's epoch, so a deposed view's allocations stay
+        # on its own fenced timeline.
+        return self._shared.allocate_lsn(doc_name, self.epoch(doc_name))
+
+    def reset_lsn(self, doc_name: str, from_lsn: int) -> None:
+        self._shared.reset_lsn(doc_name, from_lsn, self.epoch(doc_name))
+
+    def replication_degree(self, doc_name: str) -> int:
+        return self._shared.replication_degree(doc_name)

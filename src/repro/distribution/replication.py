@@ -320,6 +320,28 @@ class UpdateLog:
         self.base_epoch = epoch
         self._watermark = lsn
 
+    def compact_to(self, lsn: int) -> int:
+        """Fold entries at or below ``lsn`` into the snapshot base.
+
+        The log-compaction checkpoint: once every replica's applied
+        watermark has passed an entry, no catch-up request can ever need
+        it (requests ask for entries *above* the requester's watermark),
+        so the prefix is truncated and the base moved up. Never compacts
+        past this log's own contiguous watermark — an entry above a hole
+        may still be needed to serve the hole's eventual healing. Returns
+        the number of entries discarded.
+        """
+        lsn = min(lsn, self.applied_lsn)
+        if lsn <= self.base_lsn:
+            return 0
+        epoch = self.epoch_at(lsn)
+        discard = [recorded for recorded in self.entries if recorded <= lsn]
+        for recorded in discard:
+            del self.entries[recorded]
+        self.base_lsn = lsn
+        self.base_epoch = epoch if epoch is not None else self.base_epoch
+        return len(discard)
+
     def __len__(self) -> int:
         return len(self.entries)
 

@@ -19,6 +19,12 @@ from .figures import (
     fig11b,
     fig12,
 )
+from .partitions import (
+    PartitionSweepParams,
+    PartitionSweepResult,
+    check_partition_sweep,
+    partition_sweep,
+)
 from .replication import (
     ReplicationSweepParams,
     ReplicationSweepResult,
@@ -38,8 +44,12 @@ __all__ = [
     "Fig12Result",
     "Fig8Result",
     "FigureParams",
+    "PartitionSweepParams",
+    "PartitionSweepResult",
     "ReplicationSweepParams",
     "ReplicationSweepResult",
+    "check_partition_sweep",
+    "partition_sweep",
     "SCALE",
     "build_cluster",
     "check_replication_sweep",

@@ -30,6 +30,7 @@ schema-level locks and so produces *fewer* deadlocks (Fig. 10).
 
 from __future__ import annotations
 
+from itertools import count
 from typing import Union
 
 from ..errors import StorageError
@@ -50,11 +51,20 @@ from ..xpath.evaluator import EvalStats, evaluate
 from .base import ConcurrencyProtocol
 
 
+# Process-wide version clock shared by all Node2PL instances, mirroring the
+# DataGuide's: a re-registered document (snapshot install, recovery reload)
+# can never report a version an older registration already reported, so a
+# LockSpec cached against a version stays invalid across rebuilds — not
+# just across edits.
+_VERSION_CLOCK = count(1)
+
+
 class Node2PLProtocol(ConcurrencyProtocol):
     name = "node2pl"
 
     def __init__(self) -> None:
         self._docs: dict[str, Document] = {}
+        self._versions: dict[str, int] = {}
 
     @property
     def matrix(self) -> CompatibilityMatrix:
@@ -65,9 +75,29 @@ class Node2PLProtocol(ConcurrencyProtocol):
     def register_document(self, doc: Document) -> None:
         # The "representation structure" of Node2PL *is* the document tree.
         self._docs[doc.name] = doc
+        self._versions[doc.name] = next(_VERSION_CLOCK)
 
     def drop_document(self, doc_name: str) -> None:
         self._docs.pop(doc_name, None)
+        self._versions.pop(doc_name, None)
+
+    def after_apply(self, doc_name: str, changes) -> None:
+        # Node2PL locks name document *nodes*: any applied change can add,
+        # remove or move nodes, so every cached spec for the document is
+        # stale. (XDGL's guide can skip bumps for structure-preserving
+        # changes; the tree itself cannot.)
+        if changes:
+            self._versions[doc_name] = next(_VERSION_CLOCK)
+
+    def after_undo(self, doc_name: str, changes) -> None:
+        if changes:
+            self._versions[doc_name] = next(_VERSION_CLOCK)
+
+    def structure_version(self, doc_name: str) -> "int | None":
+        """Same version => the tree is unchanged => ``lock_spec_for_*``
+        would recompute the identical spec — retries may reuse it (the
+        retry-time LockSpec cache, extended here from XDGL to Node2PL)."""
+        return self._versions.get(doc_name)
 
     def _doc(self, doc_name: str) -> Document:
         try:

@@ -9,12 +9,20 @@ The network owns one inbox :class:`~repro.sim.queues.Store` per registered
 site and keeps delivery statistics that the experiment reports surface
 (message counts and bytes are how "synchronization overhead in all the
 sites" shows up in the numbers).
+
+Besides fail-stop endpoints (``set_down``), the network models the faults a
+lease-based failure detector exists for: **partitions** (``partition`` splits
+the sites into groups; traffic between groups is dropped until ``heal``) and
+**per-link loss** (``set_link_loss`` drops a fraction of one direction's
+messages, drawn from a dedicated RNG substream so configurations without
+loss consume exactly the same jitter stream as before). Both make *false
+suspicion* reachable: a site can be alive yet unheard-from.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Optional
+from typing import Any, Hashable, Iterable, Optional
 
 from ..config import NetworkConfig
 from ..errors import SimulationError
@@ -30,6 +38,8 @@ class NetworkStats:
     by_kind: dict[str, int] = field(default_factory=dict)
     local_messages: int = 0
     dropped: int = 0  # messages lost to crashed endpoints
+    partition_drops: int = 0  # messages lost to a partition cut
+    loss_drops: int = 0  # messages lost to per-link loss
 
     def record(self, kind: str, size: int, local: bool) -> None:
         self.messages += 1
@@ -46,6 +56,15 @@ class Network:
         self._inboxes: dict[Hashable, Store] = {}
         self._rng = substream(seed, "network")
         self._down: set = set()
+        # Partition state: site -> group index. Sites mapped to different
+        # groups cannot exchange messages; unmapped sites share one
+        # implicit group. Empty dict = fully connected.
+        self._partition: dict[Hashable, int] = {}
+        # Per-directed-link loss probability, (src, dst) -> p in (0, 1].
+        # Drawn from its own substream so runs without configured loss
+        # consume exactly the same jitter stream as before.
+        self._link_loss: dict[tuple, float] = {}
+        self._loss_rng = substream(seed, "network", "loss")
         self.stats = NetworkStats()
 
     # -- topology -----------------------------------------------------------
@@ -79,6 +98,57 @@ class Network:
     def is_up(self, site_id: Hashable) -> bool:
         return site_id not in self._down
 
+    # -- partitions and lossy links ------------------------------------------
+
+    def partition(self, *groups: Iterable[Hashable]) -> None:
+        """Split the network: sites in different ``groups`` cannot talk.
+
+        Sites not named in any group form one implicit extra group of
+        their own (together). Replaces any previous partition. Messages
+        already in flight across the new cut are dropped at delivery time
+        — a partition severs the wire, not just future sends.
+        """
+        self._partition = {}
+        for index, group in enumerate(groups):
+            for site_id in group:
+                if site_id in self._partition:
+                    raise SimulationError(
+                        f"site {site_id!r} named in two partition groups"
+                    )
+                self._partition[site_id] = index
+
+    def heal_partition(self) -> None:
+        """Reconnect everything (in-flight cross-cut messages stay lost)."""
+        self._partition = {}
+
+    def set_link_loss(
+        self, src: Hashable, dst: Hashable, probability: float, symmetric: bool = True
+    ) -> None:
+        """Drop ``probability`` of the messages on ``src -> dst``.
+
+        ``probability`` 0 removes the rule; 1 blackholes the link.
+        ``symmetric`` applies the same rule to the reverse direction.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise SimulationError(f"loss probability {probability!r} not in [0, 1]")
+        links = [(src, dst), (dst, src)] if symmetric else [(src, dst)]
+        for link in links:
+            if probability <= 0.0:
+                self._link_loss.pop(link, None)
+            else:
+                self._link_loss[link] = probability
+
+    def reachable(self, src: Hashable, dst: Hashable) -> bool:
+        """Whether the partition map currently lets ``src`` reach ``dst``.
+
+        Liveness (`is_up`) and probabilistic loss are separate concerns;
+        this answers only the partition question.
+        """
+        if src == dst or not self._partition:
+            return True
+        implicit = max(self._partition.values()) + 1
+        return self._partition.get(src, implicit) == self._partition.get(dst, implicit)
+
     # -- transmission ----------------------------------------------------------
 
     def delay_for(self, src: Hashable, dst: Hashable, size_bytes: int) -> float:
@@ -108,6 +178,13 @@ class Network:
             # silently disappears (timeouts / failure notices recover).
             self.stats.dropped += 1
             return 0.0
+        if not self.reachable(src, dst):
+            self.stats.partition_drops += 1
+            return 0.0
+        loss = self._link_loss.get((src, dst))
+        if loss is not None and self._loss_rng.random() < loss:
+            self.stats.loss_drops += 1
+            return 0.0
         inbox = self.inbox(dst)
         if size_bytes is None:
             size_bytes = getattr(payload, "size_bytes", lambda: 64)()
@@ -116,10 +193,14 @@ class Network:
         self.stats.record(kind, size_bytes, local=(src == dst))
 
         def deliver(_ev) -> None:
-            # Re-check at delivery time: the destination may have crashed
-            # while the message was in flight.
+            # Re-check at delivery time: the destination may have crashed —
+            # or a partition may have cut the link — while the message was
+            # in flight.
             if dst in self._down:
                 self.stats.dropped += 1
+                return
+            if not self.reachable(src, dst):
+                self.stats.partition_drops += 1
                 return
             inbox.put(payload)
 

@@ -426,6 +426,62 @@ class TestRetryCaching:
         assert runs[False][0] == 0
         assert runs[True][1] == runs[False][1]  # bit-identical schedule
 
+    def test_node2pl_version_bumps_on_change_and_rebuild(self, people_doc):
+        from repro.protocols.node2pl import Node2PLProtocol
+        from repro.update.applier import apply_update
+
+        protocol = Node2PLProtocol()
+        protocol.register_document(people_doc)
+        v0 = protocol.structure_version("d1")
+        assert v0 is not None
+        changes = apply_update(
+            InsertOp("<person><id>99</id></person>", "/people"), people_doc
+        )
+        protocol.after_apply("d1", changes)
+        v1 = protocol.structure_version("d1")
+        assert v1 != v0
+        protocol.register_document(people_doc)  # snapshot install / reload
+        assert protocol.structure_version("d1") not in (v0, v1)
+        assert protocol.structure_version("nope") is None
+
+    def test_node2pl_spec_cache_hits_on_retry_and_is_sim_transparent(self):
+        """PR 3 follow-on: the retry-time LockSpec cache now covers Node2PL
+        through its tree-version clock — same contended workload, cache on
+        vs off, hits recorded and schedules bit-identical.
+
+        Single-operation writers: Node2PL must bump its version on *every*
+        applied change (text edits move predicate matches, unlike the
+        DataGuide's structural summary), so a waiter's cached spec
+        survives only when the lock holder applies nothing after the
+        waiter blocked — exactly the 1-op shape.
+        """
+        runs = {}
+        for spec_cache in (True, False):
+            cfg = SystemConfig().with_(
+                client_think_ms=0.0, wake_policy="broadcast", spec_cache=spec_cache
+            )
+            cluster = DTXCluster(protocol="node2pl", config=cfg)
+            hot = doc("hot", E("hot", E("v", text="0")))
+            cluster.add_site("s1", [hot])
+            for c in range(3):
+                txs = [
+                    Transaction(
+                        [Operation.update("hot", ChangeOp("/hot/v", "x"))],
+                        label=f"c{c}t{t}",
+                    )
+                    for t in range(3)
+                ]
+                cluster.add_client(f"c{c}", "s1", txs)
+            result = cluster.run()
+            hits = sum(s.spec_cache_hits for s in result.site_stats.values())
+            runs[spec_cache] = (
+                hits,
+                [(r.label, r.status, r.submitted_ts, r.finished_ts) for r in result.records],
+            )
+        assert runs[True][0] > 0  # contended retries reused their specs
+        assert runs[False][0] == 0
+        assert runs[True][1] == runs[False][1]  # bit-identical schedule
+
     def test_spec_cache_invalidated_by_structure_change(self):
         """A retry that straddles a guide mutation recomputes its spec
         (the cached version no longer matches) and still executes right."""
