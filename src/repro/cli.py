@@ -10,6 +10,7 @@ Usage::
     python -m repro replication             # ROWA factor x read-ratio sweep
     python -m repro availability            # eager vs lazy under crashes
     python -m repro partitions              # lease-timeout sweep under a network split
+    python -m repro quorum                  # (R, W) grid vs eager/lazy under faults
     python -m repro bench                   # trajectory harness -> BENCH_<n>.json
     python -m repro bench --check           # wall-clock regression gate (CI)
 """
@@ -201,6 +202,61 @@ def _run_partitions(full: bool, lease_timeouts: list[float] | None, out=sys.stdo
     return 0
 
 
+def _run_quorum(
+    full: bool,
+    faults: list[str] | None,
+    rw: list[str] | None,
+    out=sys.stdout,
+) -> int:
+    from .experiments.quorum import (
+        QuorumSweepParams,
+        check_quorum_sweep,
+        quorum_sweep,
+    )
+
+    params = QuorumSweepParams.dense() if full else QuorumSweepParams.from_env()
+    overrides = {}
+    if faults is not None:
+        overrides["faults"] = tuple(faults)
+    if rw is not None:
+        grid = []
+        for cell in rw:
+            try:
+                r, w = cell.split(":")
+                grid.append((int(r), int(w)))
+            except ValueError:
+                print(
+                    f"error: --rw cells must look like R:W (two integers), "
+                    f"got {cell!r}",
+                    file=out,
+                )
+                return 2
+        overrides["rw_grid"] = tuple(grid)
+    if overrides:
+        from dataclasses import replace
+
+        params = replace(params, **overrides)
+    result = quorum_sweep(params)
+    print("== quorum ==", file=out)
+    for metric, fmt in (
+        ("committed", "{:10.0f}"),
+        ("update_response_ms", "{:10.2f}"),
+        ("window_update_committed", "{:10.0f}"),
+        ("sync_acks_per_commit", "{:10.2f}"),
+        ("read_repair_rate", "{:10.2f}"),
+        ("divergent_replicas", "{:10.0f}"),
+    ):
+        print(result.render(metric, fmt), file=out)
+        print(file=out)
+    try:
+        for note in check_quorum_sweep(result):
+            print(f"  {note}", file=out)
+    except AssertionError as exc:
+        print(f"  SHAPE CHECK FAILED: {exc}", file=out)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -249,6 +305,22 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         help="lease timeouts (ms) to sweep (default: 2 4 8 16)",
     )
 
+    p_quorum = sub.add_parser(
+        "quorum",
+        help="quorum (R, W) grid vs eager/lazy baselines under partition "
+        "and crash schedules: latency, in-window commits, read repair, "
+        "divergence",
+    )
+    p_quorum.add_argument("--full", action="store_true", help="denser sweep")
+    p_quorum.add_argument(
+        "--faults", nargs="+", choices=("none", "partition", "crash"),
+        default=None, help="fault schedules to run (default: partition crash)",
+    )
+    p_quorum.add_argument(
+        "--rw", nargs="+", default=None, metavar="R:W",
+        help="quorum cells as R:W pairs (default: 1:3 2:2 3:2)",
+    )
+
     # The bench harness owns its own argparse surface (it is also runnable
     # as benchmarks/trajectory.py); register a stub for --help discovery
     # but dispatch before parsing so its flags are defined exactly once.
@@ -280,6 +352,8 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         return _run_availability(args.full, args.crashes, out)
     if args.command == "partitions":
         return _run_partitions(args.full, args.lease_timeouts, out)
+    if args.command == "quorum":
+        return _run_quorum(args.full, args.faults, args.rw, out)
     return 2  # pragma: no cover
 
 

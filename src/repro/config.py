@@ -95,8 +95,14 @@ class SystemConfig:
         regime).
     replica_read_policy:
         Where queries lock and execute: ``"all"`` replicas (the paper's
-        behaviour), the ``"primary"``, a ``"random"`` replica, or the
-        ``"nearest"`` one (the coordinator's own copy when it has one).
+        behaviour), the ``"primary"``, a ``"random"`` replica, the
+        ``"nearest"`` one (the coordinator's own copy when it has one), or
+        ``"quorum"`` — the coordinator probes the version state
+        (per-document applied LSN + election epoch) of ``read_quorum_r``
+        replicas, executes at the freshest responder that provably covers
+        every committed write, and triggers read repair on the laggards
+        the probes revealed. With ``read_quorum_r + write_quorum_w > N``
+        a quorum read can never miss a quorum-committed write.
     replica_write_policy:
         ``"all"`` executes updates eagerly at every replica (the paper's
         behaviour); ``"primary"`` locks and executes at the primary copy
@@ -104,22 +110,51 @@ class SystemConfig:
         secondaries before the primary's locks are released (primary-copy
         ROWA); ``"lazy"`` also locks at the primary only but commits
         immediately and propagates asynchronously after
-        ``lazy_staleness_ms`` (bounded-staleness primary copy).
+        ``lazy_staleness_ms`` (bounded-staleness primary copy);
+        ``"quorum"`` locks and executes at the primary like ``"primary"``
+        but acknowledges the commit as soon as ``write_quorum_w`` replicas
+        (the primary's durable log record included) hold the batch —
+        commit latency stops tracking the slowest replica, and stragglers
+        converge through catch-up / anti-entropy.
+    read_quorum_r, write_quorum_w:
+        Quorum sizes for the ``"quorum"`` policies; ``0`` (default) means
+        "majority of the replica set". Validated at construction time:
+        ``R + W > N`` (read/write quorums intersect) and ``W > N/2``
+        (write quorums intersect each other), with ``N``
+        = ``replication_factor``; both must also fit in ``[1, N]``.
+        Tuning is a consistency/latency spectrum: ``W=N, R=1`` is the
+        eager regime (reads are free, commits pay every replica),
+        ``W=majority, R=majority`` balances both, larger ``R`` shifts
+        cost from writers to readers.
     lazy_staleness_ms:
         Upper bound on how long a committed update may sit in the primary's
         log before asynchronous propagation to the secondaries starts
         (``replica_write_policy="lazy"`` only).
+    max_read_staleness_ms:
+        Follower-read fence for lease-mode secondary reads (``0`` = off,
+        the pre-existing behaviour). A secondary serving a read under
+        ``failure_detector="lease"`` refuses it when nothing was heard
+        from the document's primary for longer than this bound — inside
+        a false-suspicion window (primary partitioned away, lease not yet
+        expired) the secondary can no longer bound its staleness, so the
+        coordinator re-routes the read to the primary instead of serving
+        possibly-ancient data. Quorum reads carry their own freshness
+        proof and are exempt.
     catchup_timeout_ms:
         How long a recovering or gap-detecting replica waits for the
         primary's catch-up response before giving up and retrying on the
         next trigger.
     wake_policy:
         Who gets woken when a transaction ends and its locks release.
-        ``"broadcast"`` (the paper's rule, default) wakes *every* waiter at
-        the site; ``"targeted"`` wakes only waiters whose recorded wait-set
-        (the lock keys their blocked operation requested) intersects the
-        keys just released — spurious wake-ups and their retry lock-table
-        traffic disappear, at the cost of a per-waiter key-set record.
+        ``"targeted"`` (default since it soaked across the PR 3-4
+        workloads) wakes only waiters whose recorded wait-set (the lock
+        keys their blocked operation requested) intersects the keys just
+        released — spurious wake-ups and their retry lock-table traffic
+        disappear, at the cost of a per-waiter key-set record. The final
+        committed states are identical either way (a woken waiter that
+        cannot progress simply re-blocks); ``"broadcast"`` (the paper's
+        literal rule) remains the opt-out for paper-faithful wake
+        schedules.
     group_commit_window_ms:
         Group commit for eager replica synchronization. ``0`` (default)
         sends one ReplicaSyncRequest round per committing transaction, as
@@ -175,9 +210,12 @@ class SystemConfig:
     replication_factor: int = 1
     replica_read_policy: str = "all"
     replica_write_policy: str = "all"
+    read_quorum_r: int = 0
+    write_quorum_w: int = 0
     lazy_staleness_ms: float = 5.0
+    max_read_staleness_ms: float = 0.0
     catchup_timeout_ms: float = 50.0
-    wake_policy: str = "broadcast"
+    wake_policy: str = "targeted"
     group_commit_window_ms: float = 0.0
     spec_cache: bool = True
     failure_detector: str = "perfect"
@@ -204,6 +242,8 @@ class SystemConfig:
             raise ConfigError("max_restarts must be >= 0")
         if self.lazy_staleness_ms < 0:
             raise ConfigError("lazy_staleness_ms must be >= 0")
+        if self.max_read_staleness_ms < 0:
+            raise ConfigError("max_read_staleness_ms must be >= 0")
         if self.catchup_timeout_ms <= 0:
             raise ConfigError("catchup_timeout_ms must be > 0")
         if self.wake_policy not in ("broadcast", "targeted"):

@@ -72,7 +72,17 @@ class Client:
                 outcome_ev = self.env.event()
                 self.site.submit(attempt, deliver=lambda o, ev=outcome_ev: ev.succeed(o))
                 outcome: TxOutcome = yield outcome_ev
-                if outcome.committed or attempt.stats.restarts >= self.config.max_restarts:
+                # Only *aborted* transactions are resubmitted: an abort is
+                # a clean undo, so the retry cannot double-apply anything.
+                # A *failed* transaction is final — failure means the
+                # effects may have been kept (and replicated) at some
+                # sites, per the paper's fail semantics ("the application
+                # is alerted"); blindly resubmitting it would commit the
+                # same logical write twice. The reconciliation is the
+                # application's, not the driver's.
+                if outcome.status != "aborted" or (
+                    attempt.stats.restarts >= self.config.max_restarts
+                ):
                     self.records.append(
                         ClientTxRecord(
                             client_id=self.client_id,

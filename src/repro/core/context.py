@@ -117,6 +117,15 @@ class CoordinatorRecord:
     ack_expected: set = field(default_factory=set)
     acks: dict = field(default_factory=dict)
     ack_event: Optional[Any] = None
+    # Quorum-write rounds (replica_write_policy="quorum"): doc_name -> how
+    # many *ok* remote sync acks settle that document. The round fires as
+    # soon as every entry is satisfied — commit latency stops tracking the
+    # slowest replica — or when every expected ack arrived, whichever is
+    # first. Empty for all-ack rounds.
+    ack_quorum: dict = field(default_factory=dict)
+    # Documents whose routed secondary refused a read as unboundably stale
+    # (max_read_staleness_ms): the retry re-routes these to the primary.
+    stale_read_docs: set = field(default_factory=set)
 
     # documents this transaction has updated (primary-copy ROWA pins
     # subsequent reads of them to the primary: read-your-writes)

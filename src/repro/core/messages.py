@@ -53,6 +53,10 @@ class RemoteOpResult:
     deadlock: bool  # local wait-for cycle closed at the participant
     failed: bool  # execution error
     result_size: int = 0  # bytes of query answer shipped back
+    # Follower-read fence (max_read_staleness_ms): the participant could
+    # not bound its staleness against the primary and refused the read.
+    # The coordinator re-routes to the primary instead of aborting.
+    stale: bool = False
 
     def size_bytes(self) -> int:
         return _HEADER_BYTES + 16 + self.result_size
@@ -143,7 +147,11 @@ class ReplicaSyncRequest:
     primary election (a deposed primary cannot overwrite the new timeline).
     ``log_only`` marks the copy sent to the document's *primary* when the
     coordinator is elsewhere: the primary executed the updates already and
-    only needs the log entry recorded.
+    only needs the log entry recorded. A ``log_only`` request with
+    ``lsn=0`` asks the primary to *assign* the LSN at record time (the
+    quorum write path): allocation and recording are then atomic at the
+    primary, so a request lost in flight can never orphan an allocated
+    slot and punch a permanent hole into the primary's log.
     """
 
     tid: TxId
@@ -165,9 +173,10 @@ class ReplicaSyncAck:
     doc_name: str = ""
     ok: bool = True
     reason: str = ""  # 'stale-epoch' | 'refused' | 'gap' when not ok
+    lsn: int = 0  # the recorded LSN (primary-assigned for lsn=0 requests)
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + 1 + len(self.reason)
+        return _HEADER_BYTES + 9 + len(self.reason)
 
 
 @dataclass
@@ -202,16 +211,18 @@ class ReplicaSyncBatchAck:
 
     ``results`` maps each entry's tid to ``(ok, reason)`` so the outbox can
     settle every waiting coordinator individually (one refused entry must
-    not fail its batch-mates).
+    not fail its batch-mates). ``assigned`` maps tids to primary-assigned
+    LSNs when the batch carried ``lsn=0`` entries (quorum log-only path).
     """
 
     site: Hashable
     doc_name: str
     batch_id: int
     results: dict = field(default_factory=dict)  # tid -> (ok, reason)
+    assigned: dict = field(default_factory=dict)  # tid -> recorded lsn
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + 8 + 9 * max(1, len(self.results))
+        return _HEADER_BYTES + 8 + 9 * max(1, len(self.results)) + 8 * len(self.assigned)
 
 
 @dataclass
@@ -383,6 +394,70 @@ class CatchUpResponse:
         if self.snapshot is not None:
             size += len(self.snapshot)
         return size
+
+
+@dataclass
+class VersionProbe:
+    """Quorum-read coordinator -> replicas: report your version for
+    ``doc_name`` (``replica_read_policy="quorum"``).
+
+    The first half of a versioned quorum read. Probes fan to every live
+    replica and the round settles on the first R reports (speculative
+    fan-out: a slow or cut replica never gates the read). Probes are tiny
+    (no lock is taken, no document is touched); the responses tell the
+    coordinator which replica provably holds every committed write, so
+    the query itself is then shipped to exactly one site.
+    """
+
+    doc_name: str
+    reader: Hashable
+    probe_id: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 8
+
+
+@dataclass
+class VersionReport:
+    """Replica -> quorum-read coordinator: my durable log position.
+
+    ``applied_lsn`` is the gapless watermark (every batch at or below it
+    is applied); ``max_recorded_lsn`` the highest LSN recorded at all —
+    the spread between them is racing commuting batches still in flight.
+    ``epoch`` is the epoch at the responder's *log tip* — the timeline
+    its data actually belongs to — so a deposed primary's fenced tail
+    ranks below the re-elected timeline even after the deposed site has
+    adopted the new election in its view.
+    """
+
+    doc_name: str
+    site: Hashable
+    probe_id: int
+    applied_lsn: int
+    max_recorded_lsn: int
+    epoch: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 28
+
+
+@dataclass
+class ReadRepairNudge:
+    """Quorum-read coordinator -> lagging replica: you are behind, heal.
+
+    Sent to every probe responder whose version trailed the frontier the
+    probe round established. The receiver verifies it is still behind
+    ``(epoch, target_lsn)`` and pulls the gap from its primary through
+    the ordinary catch-up path — read repair reuses anti-entropy, it does
+    not ship data itself.
+    """
+
+    doc_name: str
+    target_lsn: int
+    epoch: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 16
 
 
 @dataclass

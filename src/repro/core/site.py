@@ -26,6 +26,7 @@ from typing import Callable, Hashable, Optional
 
 from ..config import SystemConfig
 from ..deadlock.wfg import WaitForGraph
+from ..distribution.quorum import VersionVector, choose_read_replica, version_frontier
 from ..distribution.replication import ReplicationPolicy, UpdateLog, UpdateLogEntry
 from ..errors import ReproError, UpdateError
 from ..locking.manager import LockManager
@@ -58,6 +59,7 @@ from .messages import (
     LogTipQuery,
     LogTipReport,
     PrimaryAnnounce,
+    ReadRepairNudge,
     RemoteOpRequest,
     RemoteOpResult,
     ReplicaSyncAck,
@@ -69,6 +71,8 @@ from .messages import (
     TxOutcome,
     UndoOpAck,
     UndoOpRequest,
+    VersionProbe,
+    VersionReport,
     WakeNotice,
     WfgRequest,
     WfgResponse,
@@ -95,10 +99,33 @@ class _SyncOutbox:
 
 @dataclass
 class _SyncBatchState:
-    """Ack collection for one in-flight ReplicaSyncBatch fan-out."""
+    """Ack collection for one in-flight ReplicaSyncBatch fan-out.
+
+    Under quorum writes ``quorum_needed`` > 0 fires the round early: as
+    soon as every transaction in the batch has that many *ok* remote acks
+    (on top of the coordinator-local durable record), nobody waits for the
+    stragglers.
+    """
 
     expected: set = field(default_factory=set)  # sites still to answer
     acks: dict = field(default_factory=dict)  # site -> ReplicaSyncBatchAck
+    event: object = None
+    quorum_needed: int = 0  # ok remote acks per transaction (0 = all-ack)
+    tids: list = field(default_factory=list)  # transactions riding the batch
+
+
+@dataclass
+class _ProbeState:
+    """Report collection for one in-flight version-probe fan-out.
+
+    Probes fan to every live replica but the round settles at ``needed``
+    (= R) reports: a slow or silently-cut replica never gates the read,
+    which is the read-side mirror of the W-ack write quorum.
+    """
+
+    expected: set = field(default_factory=set)  # sites that were probed
+    needed: int = 0  # reports that settle the round (R)
+    reports: dict = field(default_factory=dict)  # site -> VersionReport
     event: object = None
 
 
@@ -110,6 +137,7 @@ class LocalResult:
     executed: bool = False
     deadlock: bool = False
     failed: bool = False
+    stale: bool = False  # follower-read fence refusal (re-route, not abort)
     result_size: int = 0
     cost_ms: float = 0.0
 
@@ -152,6 +180,15 @@ class SiteStats:
     announces_applied: int = 0  # newer (epoch, primary) facts adopted
     lease_refusals: int = 0  # writes refused for want of a primacy lease
     log_entries_compacted: int = 0  # entries checkpointed out of UpdateLogs
+    # Quorum replication (replica_read_policy / replica_write_policy = "quorum").
+    quorum_reads: int = 0  # queries resolved through a version-probe round
+    version_probes_sent: int = 0
+    version_reports_served: int = 0
+    read_repairs_sent: int = 0  # laggards this coordinator nudged to heal
+    read_repairs_received: int = 0  # nudges that actually triggered catch-up
+    sync_acks_awaited: int = 0  # ok remote acks counted at quorum-commit time
+    quorum_read_retries: int = 0  # probe rounds re-run (silent/short reports)
+    stale_reads_refused: int = 0  # follower reads bounced by the staleness fence
 
 
 class DTXSite:
@@ -203,6 +240,9 @@ class DTXSite:
         self._sync_outboxes: dict[tuple, _SyncOutbox] = {}
         self._sync_batches: dict[int, _SyncBatchState] = {}
         self._batch_seq = 0
+        # Quorum reads: in-flight version-probe rounds at this coordinator.
+        self._version_probes: dict[int, _ProbeState] = {}
+        self._probe_seq = 0
         self.remote_ops: Store = Store(env)
         self._tx_seq = 0
         self.stats = SiteStats()
@@ -452,6 +492,12 @@ class DTXSite:
                 self.env.process(self._handle_catchup_request(msg))
             elif isinstance(msg, CatchUpResponse):
                 self._on_catchup_response(msg)
+            elif isinstance(msg, VersionProbe):
+                self._on_version_probe(msg)
+            elif isinstance(msg, VersionReport):
+                self._on_version_report(msg)
+            elif isinstance(msg, ReadRepairNudge):
+                self._on_read_repair(msg)
             elif isinstance(msg, WakeNotice):
                 self._wake_coordinator(msg.tid)
             elif isinstance(msg, WfgRequest):
@@ -491,6 +537,29 @@ class DTXSite:
             ):
                 self.stats.lease_refusals += 1
                 return LocalResult(acquired=True, executed=False, failed=True)
+        if (
+            op.kind is OpKind.QUERY
+            and self.membership is not None
+            and self.config.max_read_staleness_ms > 0
+            and self.replication.is_primary_copy
+            and not self.replication.is_quorum_read
+        ):
+            # Lease-mode follower-read fence: inside a false-suspicion
+            # window (the primary partitioned away but its lease not yet
+            # expired) a secondary cannot bound how stale its copy is.
+            # When the primary's heartbeat is older than the configured
+            # bound, refuse the read with ``stale`` set — the coordinator
+            # re-routes it to the primary instead of aborting. Quorum
+            # reads carry their own freshness proof and are exempt.
+            rset = self.catalog.replica_set(op.doc_name)
+            if rset.is_replicated and rset.primary != self.site_id:
+                heard = self.membership.last_heard.get(rset.primary)
+                if (
+                    heard is None
+                    or self.env.now - heard > self.config.max_read_staleness_ms
+                ):
+                    self.stats.stale_reads_refused += 1
+                    return LocalResult(acquired=True, executed=False, stale=True)
         ctx = self.tx_contexts.get(tid)
         if ctx is not None:
             prior = ctx.op_entries.get(op.index)
@@ -635,6 +704,7 @@ class DTXSite:
         cost = 0.0
         if ctx is not None:
             by_doc = ctx.executed_updates_by_doc()
+            logged_during_sync = set(ctx.stable_applied)
             persisted = 0
             for name in ctx.touched_doc_names():
                 if name in by_doc and name not in ctx.stable_applied:
@@ -647,6 +717,15 @@ class DTXSite:
                 # leads *before* the locks release (log order = commit
                 # order) and queue their asynchronous propagation.
                 self._log_and_queue_lazy(tid, ctx)
+            elif self.replication.syncs_at_commit:
+                # An orphan can resolve to commit with only part of its
+                # batches in the log (one document's log-only sync
+                # arrived, another's was lost to the same cut): record the
+                # missing ones now, or the committed effects would be
+                # invisible to catch-up and diverge the replicas.
+                self._log_and_queue_lazy(
+                    tid, ctx, already_logged=logged_during_sync, persist=True
+                )
             ctx.undo.clear()
         released, lock_ops = self.lock_manager.release_transaction(tid)
         cost += lock_ops * self.costs.lock_op_ms
@@ -683,6 +762,7 @@ class DTXSite:
         ctx = self.tx_contexts.pop(tid, None)
         if persist and ctx is not None:
             by_doc = ctx.executed_updates_by_doc()
+            logged_during_sync = set(ctx.stable_applied)
             for name in ctx.touched_doc_names():
                 if name in by_doc and name not in ctx.stable_applied:
                     self._stable_apply(name, by_doc[name])
@@ -693,6 +773,14 @@ class DTXSite:
                 # and propagate them, or the secondaries would silently
                 # diverge from the primary that kept them.
                 self._log_and_queue_lazy(tid, ctx)
+            elif self.replication.syncs_at_commit:
+                # Same rule for eager/quorum failures: any kept batch this
+                # site leads that never made the log during the sync
+                # rounds is recorded (and pushed) now — kept-but-unlogged
+                # effects would be invisible to catch-up, permanently.
+                self._log_and_queue_lazy(
+                    tid, ctx, already_logged=logged_during_sync, persist=True
+                )
         released, _ = self.lock_manager.release_transaction(tid)
         self.finished.add(tid)
         self.waiters.pop(tid, None)
@@ -794,6 +882,7 @@ class DTXSite:
                     deadlock=result.deadlock,
                     failed=result.failed,
                     result_size=result.result_size,
+                    stale=result.stale,
                 ),
             )
 
@@ -834,8 +923,8 @@ class DTXSite:
         )
         if result is None:
             return  # crashed mid-ingest: no ack (senders recover via site-down)
-        ok, reason = result
-        self._send_sync_ack(msg, ok=ok, reason=reason)
+        ok, reason, lsn = result
+        self._send_sync_ack(msg, ok=ok, reason=reason, lsn=lsn)
 
     def _handle_replica_sync_batch(self, msg: ReplicaSyncBatch):
         """Group commit: ingest several transactions' batches, one ack.
@@ -848,6 +937,7 @@ class DTXSite:
         if self._maybe_crash("sync-recv"):
             return
         results: dict = {}
+        assigned: dict = {}
         for entry in sorted(msg.entries, key=lambda e: e.lsn):
             if not self.alive:
                 return
@@ -862,18 +952,21 @@ class DTXSite:
             )
             if result is None:
                 return  # crashed mid-batch: no ack
-            results[entry.tid] = result
+            ok, reason, lsn = result
+            results[entry.tid] = (ok, reason)
+            if ok and entry.lsn == 0:
+                assigned[entry.tid] = lsn  # primary-assigned (quorum path)
         self.network.send(
             self.site_id,
             msg.coordinator,
             ReplicaSyncBatchAck(
                 site=self.site_id, doc_name=msg.doc_name,
-                batch_id=msg.batch_id, results=results,
+                batch_id=msg.batch_id, results=results, assigned=assigned,
             ),
         )
 
     def _ingest_sync_entry(self, doc_name, tid, lsn, epoch, ops, log_only):
-        """Incorporate one committed update batch; ``(ok, reason)`` or
+        """Incorporate one committed update batch; ``(ok, reason, lsn)`` or
         ``None`` when the site crashed mid-ingest (the caller must not ack).
 
         Shared by the single-sync and group-commit paths — the LSN/epoch
@@ -882,6 +975,12 @@ class DTXSite:
         fenced (batches stamped with a pre-promotion epoch are refused).
         All operations of a batch are applied before any simulated time
         passes, so a sync is atomic with respect to concurrent local reads.
+
+        A ``log_only`` ingest with ``lsn=0`` (the quorum write path)
+        *assigns* the LSN here, after the epoch fence passed: allocation
+        and recording are atomic at the primary, so no slot can be
+        orphaned by a message lost in flight. The assigned LSN rides back
+        in the third tuple element.
         """
         # Serialize with an in-flight catch-up on the same document.
         while doc_name in self._catchup_gates:
@@ -891,7 +990,19 @@ class DTXSite:
         if epoch < self.catalog.epoch(doc_name):
             self.stats.syncs_refused += 1
             yield self.env.timeout(0)
-            return False, "stale-epoch"
+            return False, "stale-epoch", 0
+        if log_only and lsn == 0:
+            if tid in self.finished:
+                # Stale record request: the transaction already settled at
+                # this site — its coordinator's round gave up on this
+                # message long ago, and the local commit/abort/fail
+                # resolved the state (kept effects included, logged by
+                # the fail/commit path). Minting a fresh LSN now would log
+                # — and replicate — the same batch twice.
+                self.stats.syncs_refused += 1
+                yield self.env.timeout(0)
+                return False, "finished", 0
+            lsn = self.catalog.allocate_lsn(doc_name)
         log = self.log_for(doc_name)
         cost = self.costs.scheduler_dispatch_ms
         existing = log.entries.get(lsn)
@@ -912,11 +1023,11 @@ class DTXSite:
                 # refuse and stay behind; the next trigger retries.
                 self.stats.syncs_refused += 1
                 yield self.env.timeout(0)
-                return False, "gap"
+                return False, "gap", 0
         if log.has(lsn):
             # Duplicate delivery or replayed log entry: idempotent no-op.
             yield self.env.timeout(cost)
-            return True, ""
+            return True, "", lsn
         if log_only:
             # This site is the document's primary and executed the updates
             # itself, so only the log entry is recorded — together with a
@@ -944,7 +1055,7 @@ class DTXSite:
                 yield self.env.timeout(cost)
                 if self._maybe_crash("sync-applied"):
                     return None
-                return True, ""
+                return True, "", lsn
             # No execution state: this primary crashed and recovered while
             # the transaction was in flight. Its effects are gone from
             # memory, so fall through and incorporate the batch the way a
@@ -967,13 +1078,13 @@ class DTXSite:
                     return None
                 if log.has(lsn):
                     yield self.env.timeout(cost)
-                    return True, ""
+                    return True, "", lsn
                 if not caught_up and lsn > log.applied_lsn + 1:
                     # No response (primary down / timed out): stay behind
                     # rather than apply over unknown state; the next sync
                     # or recovery trigger retries.
                     self.stats.syncs_refused += 1
-                    return False, "gap"
+                    return False, "gap", 0
         entry = UpdateLogEntry(
             lsn=lsn, epoch=epoch, tid=tid,
             doc_name=doc_name, ops=tuple(ops),
@@ -983,15 +1094,17 @@ class DTXSite:
         yield self.env.timeout(cost)
         if self._maybe_crash("sync-applied"):
             return None  # crashed after the durable apply, before the ack
-        return True, ""
+        return True, "", lsn
 
-    def _send_sync_ack(self, msg: ReplicaSyncRequest, ok: bool, reason: str = "") -> None:
+    def _send_sync_ack(
+        self, msg: ReplicaSyncRequest, ok: bool, reason: str = "", lsn: int = 0
+    ) -> None:
         self.network.send(
             self.site_id,
             msg.coordinator,
             ReplicaSyncAck(
                 tid=msg.tid, site=self.site_id, doc_name=msg.doc_name,
-                ok=ok, reason=reason,
+                ok=ok, reason=reason, lsn=lsn or msg.lsn,
             ),
         )
 
@@ -1096,15 +1209,38 @@ class DTXSite:
         if (
             rec.ack_event is not None
             and not rec.ack_event.triggered
-            and set(rec.acks) >= rec.ack_expected
+            and (set(rec.acks) >= rec.ack_expected or self._ack_quorum_met(rec))
         ):
             rec.ack_event.succeed(dict(rec.acks))
 
-    def _collect_acks(self, rec: CoordinatorRecord, phase: str, sites: list) -> None:
+    def _ack_quorum_met(self, rec: CoordinatorRecord) -> bool:
+        """Whether a quorum-write sync round can settle before every ack.
+
+        True when every document in the round has collected its required
+        number of *ok* remote acks — the quorum regime's whole point:
+        stragglers (and everything behind a partition) no longer gate the
+        commit. All-ack rounds (``ack_quorum`` empty) never settle early.
+        """
+        if not rec.ack_quorum:
+            return False
+        for doc_name, needed in rec.ack_quorum.items():
+            got = sum(
+                1
+                for key, ack in rec.acks.items()
+                if isinstance(key, tuple) and key[1] == doc_name and ack.ok
+            )
+            if got < needed:
+                return False
+        return True
+
+    def _collect_acks(
+        self, rec: CoordinatorRecord, phase: str, sites: list, quorum: dict = None
+    ) -> None:
         rec.phase = phase
         rec.ack_expected = set(sites)
         rec.acks = {}
         rec.down_acks = set()
+        rec.ack_quorum = quorum or {}
         rec.ack_event = self.env.event()
 
     def _round_timeout_ms(self) -> float:
@@ -1128,8 +1264,14 @@ class DTXSite:
         answered are recorded like crashed-mid-round participants
         (``down_acks`` — outcome unknown), which the commit path already
         knows how to degrade safely.
+
+        Quorum-write rounds (``rec.ack_quorum``) are bounded under *both*
+        detectors: the round usually settles early (W ok-acks fire the
+        event), but when a partition keeps W out of reach nothing else
+        would ever fire under the perfect detector — the partitioned
+        peers are alive, so no SiteDownNotice comes.
         """
-        if self.membership is None:
+        if self.membership is None and not rec.ack_quorum:
             acks = yield rec.ack_event
             return acks
         timeout_ev = self.env.timeout(self._round_timeout_ms(), value=None)
@@ -1205,12 +1347,28 @@ class DTXSite:
                 raise _AbortTx(rec.abort_reason or "abort-ordered")
             rset = self.catalog.replica_set(op.doc_name)
             if op.kind is OpKind.QUERY:
-                sites = self.replication.route_read(
-                    rset,
-                    origin=self.site_id,
-                    rng=self._route_rng,
-                    wrote_before=op.doc_name in rec.written_docs,
-                )
+                if (
+                    self.replication.is_quorum_read
+                    and rset.is_replicated
+                    and op.doc_name not in rec.written_docs
+                ):
+                    # Versioned quorum read: probe R replicas, execute at
+                    # the freshest provably-complete responder, repair the
+                    # laggards the probes revealed.
+                    sites = yield from self._quorum_read_route(rec, op, rset)
+                    rset = self.catalog.replica_set(op.doc_name)
+                else:
+                    sites = self.replication.route_read(
+                        rset,
+                        origin=self.site_id,
+                        rng=self._route_rng,
+                        wrote_before=op.doc_name in rec.written_docs,
+                    )
+                    if op.doc_name in rec.stale_read_docs:
+                        # An earlier attempt bounced off the follower-read
+                        # staleness fence: serve this document's reads from
+                        # the primary for the rest of the transaction.
+                        sites = [rset.primary]
             else:
                 sites = self.replication.route_write(rset)
             # Route around crashed replicas. Under primary-copy the routed
@@ -1282,8 +1440,9 @@ class DTXSite:
             acquired_all = not missing and all(r.acquired for r in results.values())
             any_failed = any(r.failed for r in results.values())
             any_deadlock = any(r.deadlock for r in results.values())
+            any_stale = any(r.stale for r in results.values())
 
-            if acquired_all and not any_failed:
+            if acquired_all and not any_failed and not any_stale:
                 op.executed = True
                 rec.executed_sites.update(sites)
                 if op.kind is OpKind.UPDATE:
@@ -1318,6 +1477,12 @@ class DTXSite:
                 raise _AbortTx("operation-failed")
             if any_deadlock:
                 raise _AbortTx("local-deadlock")
+            if any_stale:
+                # Follower-read fence: the routed secondary could not bound
+                # its staleness against the primary. Not an error — retry
+                # immediately with the document pinned to the primary.
+                rec.stale_read_docs.add(op.doc_name)
+                continue
             if missing:
                 # A routed site crashed before answering. Earlier
                 # operations that executed there are gone for good — the
@@ -1351,8 +1516,187 @@ class DTXSite:
         if timeout_ev is not None and timeout_ev in fired and not rec.abort_requested:
             raise _AbortTx("lock-wait-timeout")
 
+    # ------------------------------------------------------------------
+    # quorum reads (replica_read_policy="quorum")
+    # ------------------------------------------------------------------
+
+    def _quorum_read_route(self, rec: CoordinatorRecord, op: Operation, rset):
+        """Resolve a quorum read to a single execution site.
+
+        Fans a :class:`VersionProbe` to every live replica (the
+        coordinator's own copy ranked first — a tie there costs zero hops
+        — then the primary, then the secondaries in placement order),
+        waits for the first R :class:`VersionReport`s, and picks the
+        freshest responder that provably covers every committed write
+        (:func:`~repro.distribution.quorum.choose_read_replica`). Probe
+        responders found behind the frontier get a :class:`ReadRepairNudge`
+        (anti-entropy catch-up, not data shipping). Silent responders are
+        excluded and the round re-probed; when racing in-flight batches
+        leave no provably-complete responder the primary serves (its live
+        tree is complete by construction — every primary-copy write
+        executes there before committing anywhere). Aborts with
+        ``no-read-quorum`` when fewer than R replicas can answer.
+        """
+        doc_name = op.doc_name
+        excluded: set = set()
+        for _ in range(4):
+            self._check_alive()
+            if rec.abort_requested:
+                raise _AbortTx(rec.abort_reason or "abort-ordered")
+            rset = self.catalog.replica_set(doc_name)
+            spec = self.replication.quorum_for(rset.degree)
+            order = [s for s in rset.all_sites if s != self.site_id]
+            if self.site_id in rset:
+                order.insert(0, self.site_id)
+            candidates = [s for s in order if s not in excluded and self._peer_up(s)]
+            if len(candidates) < spec.read_quorum:
+                raise _AbortTx("no-read-quorum")
+            self._probe_seq += 1
+            probe_id = self._probe_seq
+            # Speculative fan-out (the Dynamo-family read discipline):
+            # probe *every* live replica, settle on the first R reports.
+            # A replica that is believed live but actually behind a cut
+            # then costs nothing — the R answers come from the reachable
+            # side — and every responder's version gets inspected, which
+            # is what keeps read repair finding stragglers. R remains the
+            # consistency knob: it is the number of *answers* that gate
+            # the read, not the number of probes.
+            targets = candidates
+            state = _ProbeState(
+                expected=set(targets),
+                needed=spec.read_quorum,
+                event=self.env.event(),
+            )
+            self._version_probes[probe_id] = state
+            probe = VersionProbe(
+                doc_name=doc_name, reader=self.site_id, probe_id=probe_id
+            )
+            for target in targets:
+                self.network.send(self.site_id, target, probe)
+                self.stats.version_probes_sent += 1
+            # Bounded under both detectors: a probe lost to a cut has no
+            # SiteDownNotice backstop (the peer is alive).
+            timeout_ev = self.env.timeout(self._round_timeout_ms(), value=None)
+            yield self.env.any_of([state.event, timeout_ev])
+            self._version_probes.pop(probe_id, None)
+            self._check_alive()
+            reports = {
+                site: VersionVector(
+                    site=site,
+                    epoch=msg.epoch,
+                    applied_lsn=msg.applied_lsn,
+                    max_recorded_lsn=msg.max_recorded_lsn,
+                )
+                for site, msg in state.reports.items()
+            }
+            if len(reports) < spec.read_quorum:
+                # Crashed or partitioned-away responders: strike them from
+                # the candidate pool and re-probe over the rest.
+                excluded |= set(targets) - set(reports)
+                self.stats.quorum_read_retries += 1
+                continue
+            winner, laggards = choose_read_replica(
+                reports,
+                primary=rset.primary,
+                preferred=self.site_id,
+                placement=tuple(rset.all_sites),
+            )
+            if laggards:
+                top_epoch, frontier = version_frontier(reports)
+                nudge = ReadRepairNudge(
+                    doc_name=doc_name, target_lsn=frontier, epoch=top_epoch
+                )
+                for site in laggards:
+                    self.network.send(self.site_id, site, nudge)
+                self.stats.read_repairs_sent += len(laggards)
+            if winner is None:
+                # No responder is provably complete: racing batches in
+                # flight everywhere probed, or the completeness evidence
+                # came from a stale-epoch tail. The believed primary's
+                # live tree is complete by construction — but only if the
+                # belief is current: reports revealing a newer timeline
+                # than this coordinator's view prove the believed primary
+                # deposed, and serving from it could return fenced data
+                # while missing quorum-committed writes. Re-probe instead;
+                # the announce/heartbeat stream updates the view within a
+                # round or two.
+                top_epoch, _ = version_frontier(reports)
+                if (
+                    self._peer_up(rset.primary)
+                    and self.catalog.epoch(doc_name) >= top_epoch
+                ):
+                    winner = rset.primary
+                else:
+                    self.stats.quorum_read_retries += 1
+                    continue
+            self.stats.quorum_reads += 1
+            return [winner]
+        raise _AbortTx("no-read-quorum")
+
+    def _on_version_probe(self, msg: VersionProbe) -> None:
+        """Answer a quorum-read coordinator with this replica's version.
+
+        Reads the durable log position only — no lock, no document access.
+        A site that does not host the document (or is down) stays silent;
+        the coordinator excludes silent responders and re-probes.
+        """
+        if not self.alive or msg.doc_name not in self.data_manager.live_documents():
+            return
+        log = self.log_for(msg.doc_name)
+        self.stats.version_reports_served += 1
+        self.network.send(
+            self.site_id,
+            msg.reader,
+            VersionReport(
+                doc_name=msg.doc_name,
+                site=self.site_id,
+                probe_id=msg.probe_id,
+                applied_lsn=log.applied_lsn,
+                # The *log tip's* epoch — the timeline the data actually
+                # belongs to — NOT this site's election view. A healed
+                # deposed primary has a current view over a stale fenced
+                # log; reporting the view epoch would let it masquerade as
+                # a fresh replica while its tip LSNs alias batches it
+                # never had.
+                max_recorded_lsn=log.max_recorded_lsn,
+                epoch=log.last_epoch,
+            ),
+        )
+
+    def _on_version_report(self, msg: VersionReport) -> None:
+        state = self._version_probes.get(msg.probe_id)
+        if state is None:
+            return  # round already settled (timeout / crash): stale report
+        state.reports[msg.site] = msg
+        if (
+            state.event is not None
+            and not state.event.triggered
+            and (
+                len(state.reports) >= state.needed
+                or set(state.reports) >= state.expected
+            )
+        ):
+            state.event.succeed(None)
+
+    def _on_read_repair(self, msg: ReadRepairNudge) -> None:
+        """A quorum read observed this replica behind the frontier: heal.
+
+        Re-checked against the local log first — the gap may have closed
+        (or an even newer epoch arrived) while the nudge travelled; only a
+        replica still provably behind starts a catch-up round.
+        """
+        if not self.alive or msg.doc_name not in self.data_manager.live_documents():
+            return
+        log = self.log_for(msg.doc_name)
+        if (
+            self.catalog.epoch(msg.doc_name) < msg.epoch
+            or log.applied_lsn < msg.target_lsn
+        ):
+            self.stats.read_repairs_received += 1
+            self.nudge_catch_up(msg.doc_name)
+
     def _sync_replicas(self, rec: CoordinatorRecord):
-        """Eager primary-copy ROWA: replicate executed updates at commit.
+        """Commit-time replica synchronization (eager and quorum regimes).
 
         Runs at the top of the commit procedure, while the primary's locks
         are still held — conflicting writers therefore sync in lock-grant
@@ -1362,9 +1706,13 @@ class DTXSite:
         primary, via a log-only sync otherwise) and applied at every live
         secondary. Crashed or refusing secondaries are skipped — they
         catch the batch up from the log later — so a single dead replica
-        no longer blocks the commit. Returns False when the epoch fence
-        refused the batch (this coordinator acted on a deposed primary):
-        the caller must unwind.
+        no longer blocks the commit. Under ``replica_write_policy="primary"``
+        the round waits for every live secondary's ack; under ``"quorum"``
+        it settles once W replicas durably hold each batch and the
+        stragglers' acks are ignored (they still apply the batch, late).
+        Returns False when the epoch fence refused the batch (this
+        coordinator acted on a deposed primary) or the durable-copies
+        quorum could not be assembled: the caller must unwind.
         """
         per_doc: dict[str, list] = {}
         for op in rec.tx.operations:
@@ -1372,84 +1720,25 @@ class DTXSite:
                 per_doc.setdefault(op.doc_name, []).append(op)
         if not per_doc:
             return True
-        use_group = self.config.group_commit_window_ms > 0
-        group_waits: list = []
-        ack_keys: list = []
-        sends: list = []
-        for doc_name, ops in per_doc.items():
-            rset = self.catalog.replica_set(doc_name)
-            if not rset.is_replicated:
-                continue  # single copy: commit/abort handle it alone
-            origin = rec.write_sites.get(doc_name, set())
-            if rset.primary not in origin or any(
-                not self._peer_up(s) for s in origin
-            ):
-                # The copy these updates executed at is no longer the live
-                # primary (it crashed between execution and commit; the
-                # failover re-pointed the catalog). The uncommitted effects
-                # died with it — replicating from here would ship updates
-                # this coordinator cannot vouch for.
-                rec.abort_reason = "participant-crashed"
-                return False
-            if use_group:
-                # Group commit: stage the batch in the (primary, doc)
-                # outbox and share the sync round with every transaction
-                # that reaches commit within the window. LSNs are
-                # allocated at flush time, in enqueue order, so the
-                # per-document sequence stays as contiguous as unbatched
-                # commits would have made it.
+        if self.config.group_commit_window_ms > 0:
+            # Group commit: stage each batch in the (primary, doc) outbox
+            # and share the sync rounds with every transaction that
+            # reaches commit within the window. Drain *every* waiter
+            # before deciding: another document's batch may have durably
+            # applied (rec.synced), which turns a failure into
+            # fail-with-state-kept, not abort.
+            group_waits: list = []
+            for doc_name, ops in per_doc.items():
+                rset = self.catalog.replica_set(doc_name)
+                if not rset.is_replicated:
+                    continue  # single copy: commit/abort handle it alone
+                origin = rec.write_sites.get(doc_name, set())
+                if rset.primary not in origin or any(
+                    not self._peer_up(s) for s in origin
+                ):
+                    rec.abort_reason = "participant-crashed"
+                    return False
                 group_waits.append(self._enqueue_group_sync(rec, doc_name, ops))
-                continue
-            lsn = self.catalog.allocate_lsn(doc_name)
-            epoch = self.catalog.epoch(doc_name)
-            if rset.primary == self.site_id:
-                self._apply_log_entry(
-                    UpdateLogEntry(
-                        lsn=lsn, epoch=epoch, tid=rec.tid,
-                        doc_name=doc_name, ops=tuple(ops),
-                    ),
-                    apply_data=False,
-                )
-                ctx = self.tx_contexts.get(rec.tid)
-                if ctx is not None and doc_name not in ctx.stable_applied:
-                    self._stable_apply(doc_name, ops)
-                    ctx.stable_applied.add(doc_name)
-                self._persist_committed(doc_name)
-                # Recorded in this (the primary's) durable log, with the
-                # matching data persisted: the batch can now reach the
-                # secondaries even if the commit later degrades to a
-                # kept-effects failure or this coordinator dies.
-                rec.synced = True
-            elif self._peer_up(rset.primary):
-                ack_keys.append((rset.primary, doc_name))
-                sends.append(
-                    (
-                        rset.primary,
-                        ReplicaSyncRequest(
-                            tid=rec.tid, coordinator=self.site_id,
-                            doc_name=doc_name, lsn=lsn, epoch=epoch,
-                            log_only=True, ops=list(ops),
-                        ),
-                    )
-                )
-            for target in self.replication.sync_targets(rset):
-                if not self._peer_up(target):
-                    continue  # dead secondary: catches up after recovery
-                ack_keys.append((target, doc_name))
-                sends.append(
-                    (
-                        target,
-                        ReplicaSyncRequest(
-                            tid=rec.tid, coordinator=self.site_id,
-                            doc_name=doc_name, lsn=lsn, epoch=epoch,
-                            ops=list(ops),
-                        ),
-                    )
-                )
-        if group_waits:
-            # Drain *every* waiter before deciding: another document's
-            # batch may have durably applied at secondaries (rec.synced),
-            # which turns a failure into fail-with-state-kept, not abort.
             outcomes = []
             for waiter in group_waits:
                 outcome = yield waiter
@@ -1467,10 +1756,119 @@ class DTXSite:
             if failed_reason:
                 rec.abort_reason = failed_reason
                 return False
-        acks: dict = {}
-        if ack_keys:
-            self._collect_acks(rec, "sync", ack_keys)
-            for target, msg in sends:
+            return True
+        result = yield from self._sync_replicas_sequenced(rec, per_doc)
+        return result
+
+    def _sync_replicas_sequenced(self, rec: CoordinatorRecord, per_doc: dict):
+        """Replica synchronization, primary first: both eager and quorum.
+
+        Two sub-rounds instead of a single fan-out, and the ordering is
+        load-bearing: the batch reaches **the primary's durable log
+        before any secondary sees it**. A secondary can therefore never
+        hold a batch its primary does not — with a parallel fan-out, a
+        coordinator cut off mid-fan could leave a batch applied at a
+        secondary while the primary (which never got its log-only record)
+        orphan-aborts the transaction and undoes the effects: permanent
+        divergence no anti-entropy could repair, because catch-up serves
+        from the primary's log. LSNs are primary-assigned for the same
+        reason (allocation = recording, atomic at the primary): a
+        pre-allocated slot whose record message died in flight would
+        punch a permanent hole into the primary's log and wedge its
+        applied watermark — and every catch-up above it — forever.
+
+        Round 1 records the batch at each document's primary (locally
+        when this coordinator is the primary). Round 2 fans the batch to
+        the live secondaries; under ``"primary"`` (eager) it waits for
+        every live secondary's ack, under ``"quorum"`` it settles as soon
+        as every document has ``W - 1`` ok acks (the primary's record is
+        the W-th copy) — the commit stops tracking the slowest replica.
+        Quorum rounds are timeout-bounded under either detector; eager
+        rounds keep the perfect-mode oracle (SiteDownNotice unsticks) and
+        the lease-mode timeout.
+        """
+        staged: dict[str, tuple] = {}  # doc -> (lsn, epoch, ops)
+        primary_keys: list = []
+        primary_sends: list = []
+        for doc_name, ops in per_doc.items():
+            rset = self.catalog.replica_set(doc_name)
+            if not rset.is_replicated:
+                continue  # single copy: commit/abort handle it alone
+            origin = rec.write_sites.get(doc_name, set())
+            if rset.primary not in origin or any(
+                not self._peer_up(s) for s in origin
+            ):
+                # Same rule as the eager path: the copy these updates
+                # executed at is no longer the live primary — the
+                # uncommitted effects died with it.
+                rec.abort_reason = "participant-crashed"
+                return False
+            # No fail-fast even when too few replicas look reachable to
+            # ever assemble W: the batch must reach the primary's log
+            # first regardless. A hopeless quorum then fails with state
+            # kept *and logged* — an unlogged kept effect at the primary
+            # would be invisible to catch-up and diverge the replicas
+            # permanently.
+            epoch = self.catalog.epoch(doc_name)
+            if rset.primary == self.site_id:
+                # Allocation and record are one atomic step at the
+                # primary: no yield separates them, so no slot can be
+                # orphaned (a permanent hole would wedge the applied
+                # watermark and with it catch-up serving forever).
+                lsn = self.catalog.allocate_lsn(doc_name)
+                staged[doc_name] = (lsn, epoch, ops)
+                self._apply_log_entry(
+                    UpdateLogEntry(
+                        lsn=lsn, epoch=epoch, tid=rec.tid,
+                        doc_name=doc_name, ops=tuple(ops),
+                    ),
+                    apply_data=False,
+                )
+                ctx = self.tx_contexts.get(rec.tid)
+                if ctx is not None and doc_name not in ctx.stable_applied:
+                    self._stable_apply(doc_name, ops)
+                    ctx.stable_applied.add(doc_name)
+                self._persist_committed(doc_name)
+                rec.synced = True
+            else:
+                # Remote primary: the LSN is *assigned at the primary*
+                # when it records (lsn=0 in the request) — a request lost
+                # in flight then orphans nothing.
+                staged[doc_name] = (0, epoch, ops)
+                primary_keys.append((rset.primary, doc_name))
+                primary_sends.append(
+                    (
+                        rset.primary,
+                        ReplicaSyncRequest(
+                            tid=rec.tid, coordinator=self.site_id,
+                            doc_name=doc_name, lsn=0, epoch=epoch,
+                            log_only=True, ops=list(ops),
+                        ),
+                    )
+                )
+        if not staged:
+            return True
+        # Bounded rounds belong to the lease detector (messages can be
+        # silently lost) and to the quorum regime (bounded under either
+        # detector, by design). Eager writes under the perfect detector
+        # keep the oracle contract: the round waits until every ack
+        # arrives or a SiteDownNotice unsticks it — a merely *slow* ack
+        # (e.g. a primary serializing behind its catch-up gate) must not
+        # time a committable transaction out into a permanent failure.
+        bounded = self.membership is not None or self.replication.is_quorum_write
+        if primary_keys:
+            # Round 1: the remote primaries' durable records. One ok ack
+            # per document settles it (early fire through the quorum
+            # machinery; the timeout covers a primary behind a cut).
+            self._collect_acks(
+                rec, "sync", primary_keys,
+                quorum=(
+                    {doc_name: 1 for _, doc_name in primary_keys}
+                    if bounded
+                    else None
+                ),
+            )
+            for target, msg in primary_sends:
                 self.network.send(self.site_id, target, msg)
             acks = yield from self._await_acks(rec)
             rec.phase = ""
@@ -1480,23 +1878,99 @@ class DTXSite:
             if any(not a.ok and a.reason == "stale-epoch" for a in acks.values()):
                 rec.abort_reason = "stale-epoch"
                 return False
-        if self.membership is not None and not use_group:
-            # Lease-mode sync quorum: the commit point requires the batch
-            # durably recorded at a *majority* of each document's replica
-            # set (the primary's own log record counts one). A primary cut
-            # off from its peers — or a coordinator whose syncs fell into
-            # a partition — cannot reach it, so a minority side never
-            # commits: the other half of the no-split-brain argument.
-            for doc_name in per_doc:
-                rset = self.catalog.replica_set(doc_name)
-                if not rset.is_replicated:
-                    continue
-                durable = 1 if rset.primary == self.site_id else 0
-                for site in rset.all_sites:
-                    ack = acks.get((site, doc_name))
-                    if ack is not None and ack.ok:
-                        durable += 1
-                if 2 * durable <= rset.degree:
+            for site, doc_name in primary_keys:
+                ack = acks.get((site, doc_name))
+                if ack is None:
+                    if self.membership is None and site in rec.down_acks:
+                        # Perfect detector: the only way an ack goes
+                        # missing is the primary crashing mid-round. The
+                        # failover re-points the catalog and epoch-fences
+                        # whatever the dead primary may have recorded;
+                        # nothing reached a secondary, so unwind cleanly
+                        # (the old single-round path reached the same end
+                        # through its origin check).
+                        rec.abort_reason = "participant-crashed"
+                        return False
+                    # Ambiguous: the request or its ack was lost — the
+                    # primary may well have recorded the batch. A clean
+                    # abort could undo a durable record, so the unwind
+                    # must keep state (``synced``); the primary's own
+                    # record/no-record fact settles the final outcome
+                    # through orphan resolution and kept-effect logging.
+                    rec.synced = True
+                    rec.abort_reason = "sync-quorum-lost"
+                    return False
+                if not ack.ok:
+                    # Explicit refusal: the primary did not record, and
+                    # no secondary has seen the batch — unwinding is
+                    # clean unless another document already synced.
+                    rec.abort_reason = "sync-quorum-lost"
+                    return False
+                lsn, epoch, ops = staged[doc_name]
+                staged[doc_name] = (ack.lsn, epoch, ops)
+        is_quorum = self.replication.is_quorum_write
+        sec_keys: list = []
+        sec_sends: list = []
+        goal: dict = {}
+        for doc_name, (lsn, epoch, ops) in staged.items():
+            rset = self.catalog.replica_set(doc_name)
+            if is_quorum:
+                spec = self.replication.quorum_for(rset.degree)
+                needed = spec.write_quorum - 1  # the primary's record counts
+                if needed > 0:
+                    goal[doc_name] = needed
+            for target in self.replication.sync_targets(rset):
+                if not self._peer_up(target):
+                    continue  # dead secondary: catches up later
+                sec_keys.append((target, doc_name))
+                sec_sends.append(
+                    (
+                        target,
+                        ReplicaSyncRequest(
+                            tid=rec.tid, coordinator=self.site_id,
+                            doc_name=doc_name, lsn=lsn, epoch=epoch,
+                            ops=list(ops),
+                        ),
+                    )
+                )
+        acks = {}
+        if sec_keys:
+            # Round 2: fan to the secondaries. Quorum: W-1 ok acks per
+            # document settle the round, stragglers apply the batch late.
+            # Eager: every live secondary's ack is awaited (the client
+            # sees the commit only once all of them hold the batch).
+            self._collect_acks(rec, "sync", sec_keys, quorum=goal)
+            for target, msg in sec_sends:
+                self.network.send(self.site_id, target, msg)
+            acks = yield from self._await_acks(rec)
+            rec.phase = ""
+            self._check_alive()
+            if any(a.ok for a in acks.values()):
+                rec.synced = True
+            if any(not a.ok and a.reason == "stale-epoch" for a in acks.values()):
+                rec.abort_reason = "stale-epoch"
+                return False
+        for doc_name in staged:
+            rset = self.catalog.replica_set(doc_name)
+            remote_ok = sum(
+                1
+                for site in rset.secondaries
+                if (ack := acks.get((site, doc_name))) is not None and ack.ok
+            )
+            if is_quorum:
+                spec = self.replication.quorum_for(rset.degree)
+                self.stats.sync_acks_awaited += remote_ok
+                if 1 + remote_ok < spec.write_quorum:
+                    rec.abort_reason = "sync-quorum-lost"
+                    return False
+            elif self.membership is not None:
+                # Eager lease-mode sync quorum (PR 4's no-split-brain
+                # rule): a durable majority of the replica set — with the
+                # primary's record, guaranteed by round 1, as one vote. A
+                # primary cut off from its peers, or a coordinator whose
+                # syncs fell into a partition, cannot reach it: the
+                # minority side never commits.
+                if 2 * (1 + remote_ok) <= rset.degree:
                     rec.abort_reason = "sync-quorum-lost"
                     return False
         return True
@@ -1538,16 +2012,14 @@ class DTXSite:
         return True
 
     def _flush_sync_outbox(self, key, box: _SyncOutbox, incarnation: int):
-        """Turn one outbox's queue into a single sync round.
+        """Turn one outbox's queue into one shared (sequenced) sync round.
 
         After the window closes: re-validate each queued transaction the
-        way the unbatched path would (its executing copy must still be the
-        live primary — a failover or crash during the window fails that
-        transaction, not the whole batch), allocate LSNs in enqueue order,
-        record the batch in the primary's durable log (locally when this
-        coordinator is the primary, via one log-only batch otherwise), ship
-        one ReplicaSyncBatch per live secondary and settle every waiter
-        from the collected per-transaction ack results.
+        way the unbatched path would (its executing copy must still be
+        the live primary — a failover or crash during the window fails
+        that transaction, not the whole batch), then run the primary-
+        first batch rounds of :meth:`_flush_sequenced_batch` and settle
+        every waiter from the collected per-transaction ack results.
         """
         yield self.env.timeout(self.config.group_commit_window_ms)
         box.open = False
@@ -1570,56 +2042,30 @@ class DTXSite:
                 )
             else:
                 valid.append((rec, ops, waiter))
-        if not valid:
+        if not valid or not rset.is_replicated:
             return
-        epoch = self.catalog.epoch(doc_name)
-        entries = [
-            UpdateLogEntry(
-                lsn=self.catalog.allocate_lsn(doc_name), epoch=epoch,
-                tid=rec.tid, doc_name=doc_name, ops=tuple(ops),
-            )
-            for rec, ops, _ in valid
-        ]
         self.stats.group_batched_syncs += len(valid)
-        targets: list = []  # (site, log_only)
-        if rset.primary == self.site_id:
-            # One batched log append: every entry recorded and persisted
-            # before any simulated time passes, exactly like the unbatched
-            # primary-local path — just once per batch.
-            for entry, (rec, ops, _) in zip(entries, valid):
-                self._apply_log_entry(entry, apply_data=False)
-                ctx = self.tx_contexts.get(entry.tid)
-                if ctx is not None and doc_name not in ctx.stable_applied:
-                    self._stable_apply(doc_name, ops)
-                    ctx.stable_applied.add(doc_name)
-                self._persist_committed(doc_name)
-                rec.synced = True
-        elif self.network.is_up(rset.primary):
-            targets.append((rset.primary, True))
-        for target in self.replication.sync_targets(rset):
-            if self._peer_up(target):
-                targets.append((target, False))
-        local_durable = 1 if rset.primary == self.site_id else 0
-        if not targets:
-            # We are the primary and no secondary is reachable: the local
-            # durable record above is all the syncing there is to do —
-            # which under the lease detector's sync quorum is not enough.
-            for rec, _, waiter in valid:
-                quorum_lost = (
-                    self.membership is not None and 2 * local_durable <= rset.degree
-                )
-                waiter.succeed(
-                    {
-                        "ok": not quorum_lost,
-                        "synced": rec.synced,
-                        "reason": "sync-quorum-lost" if quorum_lost else "",
-                    }
-                )
-            return
+        yield from self._flush_sequenced_batch(box, incarnation, rset, valid)
+
+    def _ship_batch_round(self, doc_name: str, targets: list, entries: list,
+                          quorum_needed: int, bounded: bool = True):
+        """Fan one ReplicaSyncBatch to ``targets`` and wait it out.
+
+        The round settles early once every entry's transaction has
+        ``quorum_needed`` ok results (0 = wait for every target), and
+        with ``bounded`` a timeout covers peers behind a cut. Eager
+        rounds under the perfect detector pass ``bounded=False`` to keep
+        the oracle contract: wait for every ack, or for the
+        SiteDownNotice that unsticks the round. Returns the
+        :class:`_SyncBatchState` with whatever acks arrived.
+        """
         self._batch_seq += 1
         batch_id = self._batch_seq
         state = _SyncBatchState(
-            expected={site for site, _ in targets}, event=self.env.event()
+            expected={site for site, _ in targets},
+            event=self.env.event(),
+            quorum_needed=quorum_needed,
+            tids=[entry.tid for entry in entries],
         )
         self._sync_batches[batch_id] = state
         for site, log_only in targets:
@@ -1632,35 +2078,172 @@ class DTXSite:
                 ),
             )
             self.stats.group_batches_sent += 1
-        if self.membership is None:
-            yield state.event
-        else:
-            # Same boundedness as _await_acks: a batch ack lost to a short
-            # cut settles the round with whatever arrived (missing sites
-            # count nothing toward the sync quorum).
+        if bounded:
             timeout_ev = self.env.timeout(self._round_timeout_ms(), value=None)
             yield self.env.any_of([state.event, timeout_ev])
+        else:
+            yield state.event
         self._sync_batches.pop(batch_id, None)
-        if self._outbox_died(box, incarnation):
-            return
-        for rec, _, waiter in valid:
-            ok_any = False
-            stale = False
-            durable = local_durable
-            for ack in state.acks.values():
-                result = ack.results.get(rec.tid)
-                if result is None:
-                    continue
-                if result[0]:
-                    ok_any = True
-                    durable += 1
-                elif result[1] == "stale-epoch":
-                    stale = True
-            quorum_lost = (
-                self.membership is not None
-                and rset.is_replicated
-                and 2 * durable <= rset.degree
+        return state
+
+    def _flush_sequenced_batch(self, box: _SyncOutbox, incarnation: int, rset,
+                               valid: list):
+        """Group-commit settlement, primary first (eager and quorum).
+
+        The same two-round ordering as :meth:`_sync_replicas_sequenced`,
+        per batch: the whole batch reaches the primary's durable log
+        before any secondary sees any of it (a secondary must never hold
+        a batch its primary does not), then one fan-out to the live
+        secondaries settles each transaction — at ``W - 1`` ok acks on
+        top of the primary's record under quorum writes, at every live
+        secondary's ack under eager writes. LSNs are primary-assigned:
+        allocated with the local append when this coordinator is the
+        primary, or assigned at record time by the remote primary
+        (entries ship with lsn=0) so a batch lost in flight orphans no
+        slot. Entries the primary refused are withheld from the secondary
+        fan-out — shipping them would recreate exactly the divergence the
+        ordering exists to prevent.
+        """
+        doc_name = box.doc_name
+        is_quorum = self.replication.is_quorum_write
+        quorum_w = (
+            self.replication.quorum_for(rset.degree).write_quorum
+            if is_quorum
+            else 0
+        )
+        # Same boundedness rule as the unbatched path: lease mode and the
+        # quorum regime are timeout-bounded; eager-perfect rounds wait on
+        # the oracle (all acks, or SiteDownNotice).
+        bounded = self.membership is not None or is_quorum
+        epoch = self.catalog.epoch(doc_name)
+        primary_ok: dict = {}  # tid -> (ok, reason)
+        entries: list = []
+        if rset.primary == self.site_id:
+            # Batched local log append, exactly like the eager flush;
+            # allocation and record are one atomic step per entry.
+            for rec, ops, _ in valid:
+                entry = UpdateLogEntry(
+                    lsn=self.catalog.allocate_lsn(doc_name), epoch=epoch,
+                    tid=rec.tid, doc_name=doc_name, ops=tuple(ops),
+                )
+                entries.append(entry)
+                self._apply_log_entry(entry, apply_data=False)
+                ctx = self.tx_contexts.get(entry.tid)
+                if ctx is not None and doc_name not in ctx.stable_applied:
+                    self._stable_apply(doc_name, ops)
+                    ctx.stable_applied.add(doc_name)
+                self._persist_committed(doc_name)
+                rec.synced = True
+                primary_ok[entry.tid] = (True, "")
+        else:
+            if not self.network.is_up(rset.primary):
+                for rec, _, waiter in valid:
+                    waiter.succeed(
+                        {
+                            "ok": False,
+                            "synced": rec.synced,
+                            "reason": "participant-crashed",
+                        }
+                    )
+                return
+            entries = [
+                UpdateLogEntry(
+                    lsn=0, epoch=epoch, tid=rec.tid,
+                    doc_name=doc_name, ops=tuple(ops),
+                )
+                for rec, ops, _ in valid
+            ]
+            state = yield from self._ship_batch_round(
+                doc_name, [(rset.primary, True)], entries,
+                quorum_needed=1, bounded=bounded,
             )
+            if self._outbox_died(box, incarnation):
+                return
+            ack = state.acks.get(rset.primary)
+            if ack is None:
+                if self.membership is None and not self.network.is_up(rset.primary):
+                    # Perfect detector: the primary crashed mid-round —
+                    # the failover fences whatever it recorded, and no
+                    # secondary saw anything. Clean unwind.
+                    for rec, _, waiter in valid:
+                        waiter.succeed(
+                            {
+                                "ok": False,
+                                "synced": rec.synced,
+                                "reason": "participant-crashed",
+                            }
+                        )
+                    return
+                # Ambiguous: the batch or its ack was lost — the primary
+                # may have recorded everything. No entry can be undone,
+                # and none can reach the secondaries either (their
+                # assigned LSNs are unknown): fail the whole batch with
+                # state kept; the primary's record/no-record fact settles
+                # each orphan.
+                for rec, _, waiter in valid:
+                    waiter.succeed(
+                        {
+                            "ok": False,
+                            "synced": True,
+                            "reason": "sync-quorum-lost",
+                        }
+                    )
+                return
+            for entry in entries:
+                primary_ok[entry.tid] = ack.results.get(entry.tid, (False, ""))
+            entries = [
+                UpdateLogEntry(
+                    lsn=ack.assigned[e.tid], epoch=e.epoch, tid=e.tid,
+                    doc_name=e.doc_name, ops=e.ops,
+                )
+                for e in entries
+                if primary_ok[e.tid][0] and e.tid in ack.assigned
+            ]
+            for rec, _, _ in valid:
+                if primary_ok[rec.tid][0]:
+                    rec.synced = True
+        sec_targets = [
+            (target, False)
+            for target in self.replication.sync_targets(rset)
+            if self._peer_up(target)
+        ]
+        good_entries = [e for e in entries if primary_ok[e.tid][0]]
+        state = None
+        if sec_targets and good_entries:
+            state = yield from self._ship_batch_round(
+                doc_name, sec_targets, good_entries,
+                quorum_needed=max(1, quorum_w - 1) if quorum_w else 0,
+                bounded=bounded,
+            )
+            if self._outbox_died(box, incarnation):
+                return
+        for rec, _, waiter in valid:
+            p_ok, p_reason = primary_ok[rec.tid]
+            durable = 1 if p_ok else 0
+            sec_oks = 0
+            stale = p_reason == "stale-epoch"
+            if state is not None:
+                for ack in state.acks.values():
+                    result = ack.results.get(rec.tid)
+                    if result is None:
+                        continue
+                    if result[0]:
+                        sec_oks += 1
+                    elif result[1] == "stale-epoch":
+                        stale = True
+            durable += sec_oks
+            if is_quorum:
+                self.stats.sync_acks_awaited += sec_oks
+                quorum_lost = durable < quorum_w
+            elif self.membership is not None:
+                # Eager lease rule: durable majority with the primary's
+                # record mandatory (see _sync_replicas_sequenced).
+                quorum_lost = 2 * durable <= rset.degree or not p_ok
+            else:
+                # Eager perfect mode: the primary's record is the one
+                # hard requirement; a secondary that died mid-round
+                # catches up from the primary's log later.
+                quorum_lost = not p_ok
             if stale:
                 reason = "stale-epoch"
             elif quorum_lost:
@@ -1670,7 +2253,7 @@ class DTXSite:
             waiter.succeed(
                 {
                     "ok": not stale and not quorum_lost,
-                    "synced": ok_any or rec.synced,
+                    "synced": rec.synced or p_ok or sec_oks > 0,
                     "reason": reason,
                 }
             )
@@ -1680,7 +2263,22 @@ class DTXSite:
         if state is None:
             return
         state.acks[msg.site] = msg
-        if not state.event.triggered and set(state.acks) >= state.expected:
+        if state.event.triggered:
+            return
+        if set(state.acks) >= state.expected:
+            state.event.succeed(None)
+            return
+        if state.quorum_needed and all(
+            sum(
+                1
+                for ack in state.acks.values()
+                if ack.results.get(tid, (False, ""))[0]
+            )
+            >= state.quorum_needed
+            for tid in state.tids
+        ):
+            # Quorum writes: every transaction riding this batch has its W
+            # durable copies — settle now, the stragglers apply it late.
             state.event.succeed(None)
 
     def _commit_transaction(self, rec: CoordinatorRecord):
@@ -1688,7 +2286,7 @@ class DTXSite:
         self._check_alive()
         if rec.abort_requested:
             return False
-        if self.replication.is_eager:
+        if self.replication.syncs_at_commit:
             synced_ok = yield from self._sync_replicas(rec)
             if not synced_ok:
                 return False
@@ -1836,6 +2434,12 @@ class DTXSite:
             if state.event is not None and not state.event.triggered:
                 state.event.succeed(None)
         self._sync_batches.clear()
+        # In-flight version-probe rounds die with their coordinators; the
+        # events fire so the (already-failed) read generators unwind.
+        for probe_state in list(self._version_probes.values()):
+            if probe_state.event is not None and not probe_state.event.triggered:
+                probe_state.event.succeed(None)
+        self._version_probes.clear()
         # Pending lazy flushes die with the site (their entries are in the
         # durable log; whether they survive depends on who gets promoted —
         # the lazy regime's documented loss window).
@@ -1960,6 +2564,17 @@ class DTXSite:
                     and set(state.acks) >= state.expected
                 ):
                     state.event.succeed(None)
+        # Version-probe rounds waiting on the dead site settle with the
+        # reports that arrived; the read path excludes it and re-probes.
+        for probe_state in self._version_probes.values():
+            if down in probe_state.expected and down not in probe_state.reports:
+                probe_state.expected.discard(down)
+                if (
+                    probe_state.event is not None
+                    and not probe_state.event.triggered
+                    and set(probe_state.reports) >= probe_state.expected
+                ):
+                    probe_state.event.succeed(None)
         for tid, ctx in list(self.tx_contexts.items()):
             if ctx.coordinator != down or tid in self.coordinators:
                 continue
@@ -2483,23 +3098,38 @@ class DTXSite:
     # lazy propagation (replica_write_policy="lazy")
     # ------------------------------------------------------------------
 
-    def _log_and_queue_lazy(self, tid: TxId, ctx: SiteTxContext) -> None:
-        """Log this site's committed updates and queue their propagation.
+    def _log_and_queue_lazy(self, tid: TxId, ctx: SiteTxContext,
+                            already_logged: set = frozenset(),
+                            persist: bool = False) -> None:
+        """Log this site's kept/committed updates and queue their push.
 
-        Called from ``_commit_at_site`` while the transaction's locks are
-        still held, so per-document log order equals commit order. Only
+        The shared logging step of the asynchronous propagation paths.
+        Called while the transaction's locks are still held (commit) or
+        at fail time, so per-document log order equals settle order. Only
         replicated documents whose *current* primary is this site are
-        logged — under lazy routing that is exactly where updates execute.
-        Entries go into a per-document outbox; the first entry schedules
-        the flush, and everything committed within the staleness window
-        rides the same :class:`ReplicaSyncBatch` (the group-commit wire
-        format, reused on the asynchronous path), so a write burst costs
+        logged. Entries go into a per-document outbox; the first entry
+        schedules the flush, and everything settled within the staleness
+        window rides the same :class:`ReplicaSyncBatch` (the group-commit
+        wire format, reused on the asynchronous path), so a burst costs
         one message per secondary instead of one per transaction.
+
+        Two callers, two shapes:
+
+        * lazy commits (``replica_write_policy="lazy"``): every document,
+          no persist here (the commit fold handles it);
+        * kept effects / orphan commits under the commit-sync regimes:
+          ``already_logged`` is ``ctx.stable_applied`` as of before the
+          commit/fail fold — exactly the documents whose batches the
+          sync rounds already recorded — and the fresh records persist
+          immediately (an unlogged kept effect would be invisible to
+          catch-up and diverge the replicas permanently).
         """
         for doc_name, ops in ctx.executed_updates_by_doc().items():
             rset = self.catalog.replica_set(doc_name)
             if rset.primary != self.site_id or not rset.is_replicated:
                 continue
+            if doc_name in already_logged:
+                continue  # the sync round already recorded this batch
             entry = UpdateLogEntry(
                 lsn=self.catalog.allocate_lsn(doc_name),
                 epoch=self.catalog.epoch(doc_name),
@@ -2508,6 +3138,8 @@ class DTXSite:
                 ops=tuple(ops),
             )
             self.log_for(doc_name).record(entry)
+            if persist:
+                self._persist_committed(doc_name)
             pending = self._lazy_outboxes.setdefault(doc_name, [])
             pending.append(entry)
             if len(pending) == 1:

@@ -15,7 +15,15 @@ from .fragmentation import (
     fragment_name,
     is_fragment_of,
 )
+from .quorum import (
+    QuorumSpec,
+    VersionVector,
+    choose_read_replica,
+    majority,
+    version_frontier,
+)
 from .replication import (
+    COMMIT_SYNC_POLICIES,
     PRIMARY_COPY_POLICIES,
     READ_POLICIES,
     WRITE_POLICIES,
@@ -28,23 +36,29 @@ from .replication import (
 
 __all__ = [
     "Allocation",
+    "COMMIT_SYNC_POLICIES",
     "Catalog",
     "CatalogView",
     "Fragment",
     "FragmentationPlan",
     "PRIMARY_COPY_POLICIES",
+    "QuorumSpec",
     "READ_POLICIES",
     "ReplicaSet",
     "ReplicationPolicy",
     "UpdateLog",
     "UpdateLogEntry",
+    "VersionVector",
     "WRITE_POLICIES",
     "allocate_explicit",
     "allocate_partial",
     "allocate_replicated",
     "allocate_total",
+    "choose_read_replica",
     "fragment_document",
     "fragment_name",
     "is_fragment_of",
+    "majority",
     "replica_placement",
+    "version_frontier",
 ]

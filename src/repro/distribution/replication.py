@@ -55,10 +55,16 @@ from dataclasses import dataclass, field
 from typing import Hashable, Optional
 
 from ..errors import ConfigError, DistributionError
+from .quorum import QuorumSpec
+from .quorum import majority as _majority
 
-READ_POLICIES = ("all", "primary", "random", "nearest")
-WRITE_POLICIES = ("all", "primary", "lazy")
-PRIMARY_COPY_POLICIES = ("primary", "lazy")  # writes lock at the primary only
+READ_POLICIES = ("all", "primary", "random", "nearest", "quorum")
+WRITE_POLICIES = ("all", "primary", "lazy", "quorum")
+# Writes lock and execute at the primary only; they differ in how the
+# committed batch reaches the secondaries (eagerly/asynchronously/quorum).
+PRIMARY_COPY_POLICIES = ("primary", "lazy", "quorum")
+# Commit-time synchronous propagation (the _sync_replicas path).
+COMMIT_SYNC_POLICIES = ("primary", "quorum")
 
 
 @dataclass(frozen=True)
@@ -108,6 +114,11 @@ class ReplicationPolicy:
     factor: int = 1
     read_policy: str = "all"
     write_policy: str = "all"
+    # Quorum sizes for the "quorum" policies; 0 means "majority of the
+    # replica set". Validated against ``factor`` at construction time and
+    # re-resolved per replica set at run time (see :meth:`quorum_for`).
+    read_quorum_r: int = 0
+    write_quorum_w: int = 0
 
     def validate(self) -> None:
         if self.factor < 1:
@@ -120,6 +131,45 @@ class ReplicationPolicy:
             raise ConfigError(
                 f"write_policy must be one of {WRITE_POLICIES}, got {self.write_policy!r}"
             )
+        uses_quorum = "quorum" in (self.read_policy, self.write_policy)
+        if uses_quorum and self.factor < 2:
+            raise ConfigError(
+                "quorum read/write policies need replication_factor >= 2 "
+                f"(got {self.factor}): with a single copy there is nothing "
+                "to form a quorum over"
+            )
+        if self.read_policy == "quorum" and self.write_policy == "lazy":
+            raise ConfigError(
+                "replica_read_policy='quorum' cannot intersect lazy writes: "
+                "a lazy commit is durable at the primary alone (W=1), so no "
+                "read quorum short of R=N could cover it — use "
+                "replica_write_policy='quorum' or 'primary'"
+            )
+        if not uses_quorum and (self.read_quorum_r or self.write_quorum_w):
+            raise ConfigError(
+                "read_quorum_r/write_quorum_w are set but neither "
+                "replica_read_policy nor replica_write_policy is 'quorum'"
+            )
+        for name, value in (
+            ("read_quorum_r", self.read_quorum_r),
+            ("write_quorum_w", self.write_quorum_w),
+        ):
+            if value < 0:
+                raise ConfigError(f"{name} must be >= 0 (0 = majority), got {value}")
+            if value > self.factor:
+                raise ConfigError(
+                    f"{name}={value} exceeds the replica count "
+                    f"(replication_factor={self.factor})"
+                )
+        if uses_quorum:
+            # Resolve against the configured factor so impossible explicit
+            # combinations (R+W <= N, W <= N/2) fail at construction time
+            # with the laws spelled out, not at the first routed operation.
+            QuorumSpec(
+                n=self.factor,
+                read_quorum=self.read_quorum_r or _majority(self.factor),
+                write_quorum=self.write_quorum_w or _majority(self.factor),
+            ).validate()
 
     @classmethod
     def from_config(cls, config) -> "ReplicationPolicy":
@@ -128,6 +178,8 @@ class ReplicationPolicy:
             factor=config.replication_factor,
             read_policy=config.replica_read_policy,
             write_policy=config.replica_write_policy,
+            read_quorum_r=config.read_quorum_r,
+            write_quorum_w=config.write_quorum_w,
         )
         policy.validate()
         return policy
@@ -153,7 +205,11 @@ class ReplicationPolicy:
             return [rset.primary]
         if self.read_policy == "all":
             return list(rset.all_sites)
-        if self.read_policy == "primary":
+        if self.read_policy in ("primary", "quorum"):
+            # "quorum" is resolved by the coordinator's version-probe round
+            # (DTXSite), which overrides this with the freshest responder;
+            # the primary is the degenerate (and always-safe) answer for
+            # callers outside that path and for unreplicated documents.
             return [rset.primary]
         if self.read_policy == "random":
             if rng is None:
@@ -192,10 +248,42 @@ class ReplicationPolicy:
         """Commit at the primary immediately; propagate asynchronously."""
         return self.write_policy == "lazy"
 
-    def describe(self) -> str:
-        return (
-            f"factor={self.factor} read={self.read_policy} write={self.write_policy}"
+    @property
+    def is_quorum_write(self) -> bool:
+        """Commit once W replicas (primary included) durably hold the batch."""
+        return self.write_policy == "quorum"
+
+    @property
+    def is_quorum_read(self) -> bool:
+        """Reads probe R replicas' versions and execute at the freshest."""
+        return self.read_policy == "quorum"
+
+    @property
+    def syncs_at_commit(self) -> bool:
+        """Committed updates are propagated before the commit acknowledges
+        (waiting for all live secondaries under ``"primary"``, for W
+        durable copies under ``"quorum"``)."""
+        return self.write_policy in COMMIT_SYNC_POLICIES
+
+    def quorum_for(self, degree: int) -> QuorumSpec:
+        """The effective (N, R, W) for a replica set of ``degree`` copies.
+
+        Documents can be replicated at fewer sites than the configured
+        ``factor`` (hand-built clusters, shrunken placements):
+        :meth:`QuorumSpec.resolve` re-anchors the configured quorums to
+        the actual degree, falling back to majorities where the
+        configured values would break the intersection laws.
+        """
+        return QuorumSpec.resolve(
+            degree, r=self.read_quorum_r, w=self.write_quorum_w
         )
+
+    def describe(self) -> str:
+        out = f"factor={self.factor} read={self.read_policy} write={self.write_policy}"
+        if "quorum" in (self.read_policy, self.write_policy):
+            spec = self.quorum_for(self.factor)
+            out += f" R={spec.read_quorum} W={spec.write_quorum}"
+        return out
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,12 @@ from .partitions import (
     check_partition_sweep,
     partition_sweep,
 )
+from .quorum import (
+    QuorumSweepParams,
+    QuorumSweepResult,
+    check_quorum_sweep,
+    quorum_sweep,
+)
 from .replication import (
     ReplicationSweepParams,
     ReplicationSweepResult,
@@ -46,10 +52,14 @@ __all__ = [
     "FigureParams",
     "PartitionSweepParams",
     "PartitionSweepResult",
+    "QuorumSweepParams",
+    "QuorumSweepResult",
     "ReplicationSweepParams",
     "ReplicationSweepResult",
     "check_partition_sweep",
+    "check_quorum_sweep",
     "partition_sweep",
+    "quorum_sweep",
     "SCALE",
     "build_cluster",
     "check_replication_sweep",

@@ -1,0 +1,353 @@
+"""Quorum sweep: (R, W) cells against eager and lazy baselines under faults.
+
+The experiment behind README § Quorum replication: one replicated workload
+runs under every write regime — eager primary-copy (commit waits for *all*
+live secondaries), lazy (commit immediately, propagate within the
+staleness bound) and quorum cells across an (R, W) grid — while a fault
+schedule disturbs the cluster:
+
+* ``partition`` — a minority cut isolates the site that leads the fewest
+  documents. Most primaries keep a write quorum reachable, so quorum
+  commits keep flowing at normal latency, while the eager regime waits a
+  full protocol-round timeout for the unreachable secondary's ack on
+  every single commit — the "commit latency tracks the slowest replica"
+  failure mode this regime exists to remove. The cut primary's documents
+  are re-elected on the majority side either way (lease detector).
+* ``crash`` — the busiest primary fail-stops mid-workload and recovers
+  after a fixed outage (the availability sweep's schedule).
+* ``none`` — undisturbed baseline.
+
+Reported per cell: commit/abort/fail counts, mean response, the same
+restricted to transactions finishing inside the fault window, quorum
+telemetry (sync acks awaited per commit, version probes, read-repair
+activity) and the divergent-replica count after heal + drain — which must
+be zero for the eager *and* quorum cells (quorum stragglers converge
+through catch-up, heartbeat-watermark anti-entropy and read repair).
+
+Runs under ``failure_detector="lease"`` throughout: partitions without a
+message-based detector stall the perfect-mode oracle's rounds forever,
+and the lease machinery (elections, bounded rounds, anti-entropy) is the
+substrate the quorum regime is built on.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..config import SystemConfig
+from ..workload.generator import WorkloadSpec
+from ..xml.serializer import serialize_document
+from .runner import ExperimentConfig, build_cluster
+
+FAULTS = ("none", "partition", "crash")
+
+
+@dataclass(frozen=True)
+class QuorumSweepParams:
+    rw_grid: tuple = ((1, 3), (2, 2), (3, 2))  # (R, W) cells, N = factor
+    baselines: tuple = ("eager", "lazy")
+    faults: tuple = ("partition", "crash")
+    n_sites: int = 4
+    replication_factor: int = 3
+    n_clients: int = 9
+    tx_per_client: int = 5
+    ops_per_tx: int = 3
+    update_ratio: float = 0.4
+    # Update transactions are write-pure here: the sweep's headline metric
+    # is commit latency, and with the generator's default 0.2 a "write"
+    # transaction is still 80% reads — drowning the ack-discipline
+    # difference under the read-routing cost.
+    update_op_ratio: float = 1.0
+    protocol: str = "xdgl"
+    # Baselines read at the primary: that is the *strongly consistent*
+    # read the quorum regime competes with (serializable reads, one RTT
+    # for remote coordinators — same consistency class as a quorum read's
+    # probe round + freshest-responder execution). "nearest" reads are
+    # the weak-read comparison and live in the replication sweep.
+    read_policy: str = "primary"
+    db_bytes: int = 18_000
+    fault_at_ms: float = 6.0  # when the partition / crash fires
+    fault_ms: float = 30.0  # cut length / crash outage
+    # Deliberately conservative (slow) suspicion: the window between the
+    # cut and the lease expiry is where the regimes differ — the eager
+    # commit waits a full protocol round for the unreachable (but not yet
+    # suspected) secondary's ack, a sub-N write quorum never does. A
+    # hair-trigger lease would hide the difference by suspecting the cut
+    # site almost immediately (and pay for it in false suspicions under
+    # jitter — the partitions sweep measures that trade-off).
+    lease_timeout_ms: float = 12.0
+    heartbeat_interval_ms: float = 1.0
+    election_timeout_ms: float = 4.0
+    lazy_staleness_ms: float = 5.0
+    drain_ms: float = 200.0  # post-workload settle (elections, anti-entropy)
+
+    @classmethod
+    def dense(cls) -> "QuorumSweepParams":
+        return cls(
+            rw_grid=((1, 3), (2, 2), (3, 2), (2, 3)),
+            faults=("none", "partition", "crash"),
+            n_clients=15,
+            tx_per_client=8,
+            ops_per_tx=4,
+        )
+
+    @classmethod
+    def from_env(cls) -> "QuorumSweepParams":
+        """``REPRO_FULL=1`` selects the denser sweep."""
+        return cls.dense() if os.environ.get("REPRO_FULL") == "1" else cls()
+
+    def regimes(self) -> list[str]:
+        """Cell labels, baselines first: eager | lazy | quorum-rR.wW."""
+        out = list(self.baselines)
+        out.extend(f"quorum-r{r}w{w}" for r, w in self.rw_grid)
+        return out
+
+
+@dataclass
+class QuorumSweepResult:
+    params: QuorumSweepParams = field(default_factory=QuorumSweepParams)
+    cells: dict = field(default_factory=dict)  # (regime, fault) -> metrics
+
+    def metric(self, regime: str, fault: str, name: str):
+        return self.cells[(regime, fault)][name]
+
+    def render(self, metric: str = "committed", fmt: str = "{:10.2f}") -> str:
+        faults = list(self.params.faults)
+        lines = [
+            f"quorum sweep — {metric} "
+            f"(fault window {self.params.fault_ms} ms at "
+            f"t={self.params.fault_at_ms} ms)",
+            "regime \\ fault  " + "  ".join(f"{f:>10s}" for f in faults),
+        ]
+        for regime in self.params.regimes():
+            row = [f"{regime:>14s}"]
+            for fault in faults:
+                row.append(fmt.format(self.cells[(regime, fault)][metric]))
+            lines.append("  ".join(row))
+        return "\n".join(lines)
+
+
+def _rank_primaries(cluster) -> list:
+    """Sites ordered by how many replicated documents they lead (desc)."""
+    catalog = cluster.catalog
+    counts: dict = {}
+    for doc_name in catalog.all_documents():
+        rset = catalog.replica_set(doc_name)
+        if rset.is_replicated:
+            counts[rset.primary] = counts.get(rset.primary, 0) + 1
+    ranked = sorted(counts, key=lambda s: (-counts[s], str(s)))
+    return ranked or sorted(cluster.sites, key=str)
+
+
+def _divergent_pairs(cluster) -> int:
+    """Replica pairs whose serialized document states differ at run end."""
+    divergent = 0
+    for doc_name in cluster.catalog.all_documents():
+        rset = cluster.catalog.replica_set(doc_name)
+        if not rset.is_replicated:
+            continue
+        texts = {
+            site: serialize_document(cluster.document_at(site, doc_name))
+            for site in rset.all_sites
+        }
+        reference = texts[rset.primary]
+        divergent += sum(1 for text in texts.values() if text != reference)
+    return divergent
+
+
+def _system_for(params: QuorumSweepParams, regime: str) -> SystemConfig:
+    common = dict(
+        client_think_ms=1.0,
+        replication_factor=params.replication_factor,
+        failure_detector="lease",
+        heartbeat_interval_ms=params.heartbeat_interval_ms,
+        lease_timeout_ms=params.lease_timeout_ms,
+        election_timeout_ms=params.election_timeout_ms,
+        lazy_staleness_ms=params.lazy_staleness_ms,
+        # Safety valve: work stuck behind the fault times out and retries
+        # instead of wedging the run.
+        lock_wait_timeout_ms=200.0,
+        max_restarts=2,
+    )
+    if regime.startswith("quorum-"):
+        r, w = regime[len("quorum-r"):].split("w")
+        return SystemConfig().with_(
+            replica_read_policy="quorum",
+            replica_write_policy="quorum",
+            read_quorum_r=int(r),
+            write_quorum_w=int(w),
+            **common,
+        )
+    return SystemConfig().with_(
+        replica_read_policy=params.read_policy,
+        replica_write_policy="primary" if regime == "eager" else "lazy",
+        **common,
+    )
+
+
+def quorum_sweep(params: QuorumSweepParams | None = None) -> QuorumSweepResult:
+    """Run the (regime x fault) grid; one cell per configuration."""
+    params = params or QuorumSweepParams.from_env()
+    out = QuorumSweepResult(params=params)
+    for regime in params.regimes():
+        for fault in params.faults:
+            cfg = ExperimentConfig(
+                protocol=params.protocol,
+                n_sites=params.n_sites,
+                replication="partial",
+                db_bytes=params.db_bytes,
+                workload=WorkloadSpec(
+                    n_clients=params.n_clients,
+                    tx_per_client=params.tx_per_client,
+                    ops_per_tx=params.ops_per_tx,
+                    update_tx_ratio=params.update_ratio,
+                    update_op_ratio=params.update_op_ratio,
+                ),
+                system=_system_for(params, regime),
+                label=f"quorum/{regime}/{fault}",
+            )
+            cluster, tester = build_cluster(cfg)
+            update_labels = {
+                tx.label
+                for txs in tester.all_transactions().values()
+                for tx in txs
+                if any(op.is_update for op in tx.operations)
+            }
+            window = (params.fault_at_ms, params.fault_at_ms + params.fault_ms)
+            if fault == "partition":
+                # Isolate a *pure secondary*: the least-loaded primary is
+                # picked and the few documents it leads are re-pointed to
+                # another replica before the run starts. Every document
+                # then keeps its primary plus a write quorum on the
+                # majority side for the whole cut, so the regimes differ
+                # in ack discipline alone — eager commits wait on the
+                # unreachable secondary until suspicion unsticks them,
+                # quorum commits never notice — with no failover downtime
+                # muddying the comparison (the crash schedule measures
+                # that).
+                isolated = _rank_primaries(cluster)[-1]
+                for doc_name in cluster.catalog.documents_at(isolated):
+                    rset = cluster.catalog.replica_set(doc_name)
+                    if rset.is_replicated and rset.primary == isolated:
+                        cluster.catalog.set_primary(doc_name, rset.secondaries[0])
+                rest = [s for s in sorted(cluster.sites, key=str) if s != isolated]
+                cluster.schedule_partition([[isolated], rest], window[0], window[1])
+            elif fault == "crash":
+                target = _rank_primaries(cluster)[0]
+                cluster.schedule_crash(target, window[0], window[1])
+            result = cluster.run(label=cfg.label, drain_ms=params.drain_ms)
+            duration_s = max(result.duration_ms, 1e-9) / 1000.0
+            in_window = [
+                r
+                for r in result.committed
+                if window[0] <= r.finished_ts <= window[1]
+            ]
+            update_committed = [
+                r for r in result.committed if r.label in update_labels
+            ]
+            site_stats = result.site_stats.values()
+            committed = max(1, len(result.committed))
+            quorum_read_count = sum(s.quorum_reads for s in site_stats)
+            out.cells[(regime, fault)] = {
+                "committed": len(result.committed),
+                "aborted": len(result.aborted),
+                "failed": len(result.failed),
+                "tx_per_s": len(result.committed) / duration_s,
+                "response_ms": result.mean_response_ms(),
+                "messages": result.network_messages,
+                "promotions": result.promotions,
+                "window_committed": len(in_window),
+                "window_response_ms": (
+                    sum(r.response_ms for r in in_window) / len(in_window)
+                    if in_window
+                    else 0.0
+                ),
+                # Commit-path telemetry: transactions that performed at
+                # least one update — the regime's headline is that *their*
+                # latency stops tracking the slowest replica.
+                "update_committed": len(update_committed),
+                "update_response_ms": (
+                    sum(r.response_ms for r in update_committed)
+                    / len(update_committed)
+                    if update_committed
+                    else 0.0
+                ),
+                "window_update_committed": len(
+                    [r for r in update_committed if window[0] <= r.finished_ts <= window[1]]
+                ),
+                "sync_acks_awaited": sum(s.sync_acks_awaited for s in site_stats),
+                "sync_acks_per_commit": (
+                    sum(s.sync_acks_awaited for s in site_stats) / committed
+                ),
+                "version_probes": sum(s.version_probes_sent for s in site_stats),
+                "quorum_reads": quorum_read_count,
+                "read_repairs": sum(s.read_repairs_sent for s in site_stats),
+                "read_repair_rate": (
+                    sum(s.read_repairs_sent for s in site_stats)
+                    / max(1, quorum_read_count)
+                ),
+                "lease_refusals": sum(s.lease_refusals for s in site_stats),
+                "divergent_replicas": _divergent_pairs(cluster),
+            }
+    return out
+
+
+def check_quorum_sweep(result: QuorumSweepResult) -> list[str]:
+    """Shape checks: quorums intersect, stragglers converge, eager stalls."""
+    notes: list[str] = []
+    params = result.params
+    expected = params.n_clients * params.tx_per_client
+    for (regime, fault), cell in result.cells.items():
+        assert cell["committed"] + cell["aborted"] + cell["failed"] <= expected
+        if regime != "lazy":
+            # Eager and quorum regimes must reconcile to identical bytes
+            # once the cluster quiesced (lazy shares the loss-window
+            # caveats measured by the availability sweep).
+            assert cell["divergent_replicas"] == 0, (
+                f"{regime}/{fault}: {cell['divergent_replicas']} replica "
+                f"pairs divergent after heal + drain"
+            )
+        if regime.startswith("quorum-"):
+            assert cell["version_probes"] > 0, f"{regime}/{fault}: no reads probed"
+            assert cell["sync_acks_awaited"] > 0, (
+                f"{regime}/{fault}: no quorum write ever counted an ack"
+            )
+    if "partition" in params.faults and "eager" in params.baselines:
+        eager = result.cells[("eager", "partition")]
+        n = params.replication_factor
+        for r, w in params.rw_grid:
+            cell = result.cells[(f"quorum-r{r}w{w}", "partition")]
+            assert cell["window_update_committed"] > 0, (
+                f"quorum-r{r}w{w}: no write committed during the cut"
+            )
+            if r < n and w < n:
+                # The regime's headline: with a cut (but not yet
+                # suspected) secondary, every eager commit waits on an
+                # ack that cannot arrive until suspicion unsticks it,
+                # while a sub-N write quorum settles at W acks from the
+                # reachable side and never notices. (R=N or W=N cells
+                # deliberately give that robustness back — they are the
+                # read-everything / write-everything ends of the
+                # consistency spectrum.)
+                assert cell["update_response_ms"] < eager["update_response_ms"], (
+                    f"quorum-r{r}w{w} write-tx response "
+                    f"{cell['update_response_ms']:.2f} ms not below eager's "
+                    f"{eager['update_response_ms']:.2f} ms under the partition"
+                )
+        notes.append(
+            "partition: eager write-tx response "
+            f"{eager['update_response_ms']:.2f} ms "
+            f"({eager['window_update_committed']} writes in-window) vs "
+            + ", ".join(
+                f"r{r}w{w} "
+                f"{result.cells[(f'quorum-r{r}w{w}', 'partition')]['update_response_ms']:.2f} ms "
+                f"({result.cells[(f'quorum-r{r}w{w}', 'partition')]['window_update_committed']} in-window)"
+                for r, w in params.rw_grid
+            )
+        )
+    notes.append(
+        f"{len(result.cells)} cells; 0 divergent replica pairs in every "
+        f"eager and quorum cell (quorum intersection + anti-entropy held)"
+    )
+    return notes

@@ -303,6 +303,88 @@ def probe_high_write(features: dict, quick: bool = False) -> dict:
 
 
 # ----------------------------------------------------------------------
+# quorum probe (versioned quorum reads/writes + read repair)
+# ----------------------------------------------------------------------
+
+def probe_quorum(features: dict, quick: bool = False) -> dict:
+    """Quorum regime probe: ack discipline on writes, repair on reads.
+
+    One document replicated at three sites under ``R=3, W=2``. Phase 1 is
+    a write burst with one secondary refusing its syncs — every commit
+    settles at W=2 durable copies (primary + one ack) and the refusing
+    replica falls behind. Phase 2 reads through the version-probe path:
+    R=3 reports reveal the straggler, read repair nudges it, and by the
+    drain every replica is byte-identical again. Deterministic per seed:
+    ``sync_acks_per_commit`` (how many remote acks a quorum commit
+    actually waited for) and ``read_repair_rate`` (repairs per quorum
+    read) are the trajectory's quorum fingerprint, and the digest proves
+    convergence.
+    """
+    writers, writes_each, reads = (4, 2, 6) if quick else (8, 3, 12)
+    cfg = SystemConfig().with_(
+        client_think_ms=0.0,
+        replication_factor=3,
+        replica_read_policy="quorum",
+        replica_write_policy="quorum",
+        read_quorum_r=3,
+        write_quorum_w=2,
+        **features,
+    )
+    cluster = DTXCluster(protocol="xdgl", config=cfg)
+    hot = doc("hot", E("hot", *[E(f"c{i}") for i in range(writers)]))
+    sites = ["s1", "s2", "s3"]
+    for sid in sites:
+        cluster.add_site(sid)
+    cluster.replicate_document(hot, sites)
+    cluster.start()
+    t0 = time.perf_counter()
+    write_outcomes: list = []
+    read_outcomes: list = []
+    cluster.sites["s3"].refuse_sync.add("*")
+    for i in range(writers):
+        for t in range(writes_each):
+            tx = Transaction(
+                [Operation.update("hot", InsertOp(f"<e><t>{t}</t></e>", f"/hot/c{i}"))],
+                label=f"w{i}.{t}",
+            )
+            cluster.sites["s1"].submit(tx, write_outcomes.append)
+    cluster.env.run(until=cluster.env.now + 30.0)
+    cluster.sites["s3"].refuse_sync.discard("*")
+    for r in range(reads):
+        tx = Transaction(
+            [Operation.query("hot", f"/hot/c{r % writers}")], label=f"r{r}"
+        )
+        cluster.sites["s2"].submit(tx, read_outcomes.append)
+    cluster.env.run(until=cluster.env.now + 60.0)
+    seconds = time.perf_counter() - t0
+    committed_writes = sum(1 for o in write_outcomes if o.committed)
+    committed = committed_writes + sum(1 for o in read_outcomes if o.committed)
+    stats = [site.stats for site in cluster.sites.values()]
+    sync_acks = sum(s.sync_acks_awaited for s in stats)
+    quorum_reads = sum(s.quorum_reads for s in stats)
+    repairs = sum(s.read_repairs_sent for s in stats)
+    texts = [serialize_document(cluster.document_at(sid, "hot")) for sid in sites]
+    digest = hashlib.sha256()
+    for text in texts:
+        digest.update(text.encode())
+    return {
+        "wall_seconds": seconds,
+        "committed": committed,
+        "wall_tx_per_s": committed / max(seconds, 1e-9),
+        "sync_acks_awaited": sync_acks,
+        "sync_acks_per_commit": sync_acks / max(1, committed_writes),
+        "version_probes": sum(s.version_probes_sent for s in stats),
+        "quorum_reads": quorum_reads,
+        "read_repairs": repairs,
+        "read_repair_rate": repairs / max(1, quorum_reads),
+        # Read repair + anti-entropy must have reconciled the refused-sync
+        # straggler by the drain: anything nonzero here is a regression.
+        "divergent_replicas": sum(1 for text in texts if text != texts[0]),
+        "state_digest": digest.hexdigest(),
+    }
+
+
+# ----------------------------------------------------------------------
 # trajectory assembly and canonical files
 # ----------------------------------------------------------------------
 
@@ -314,6 +396,7 @@ def run_trajectory(features_name: str = "optimized", quick: bool = False) -> dic
     macro = probe_macro(features, params, rounds=rounds)
     contended = probe_contended(features, quick=quick)
     high_write = probe_high_write(features, quick=quick)
+    quorum = probe_quorum(features, quick=quick)
     return {
         "schema": SCHEMA,
         "features": {"name": features_name, **features},
@@ -327,11 +410,18 @@ def run_trajectory(features_name: str = "optimized", quick: bool = False) -> dic
             "macro_tx_per_s": macro["wall_tx_per_s"],
             "contended_seconds": contended["wall_seconds"],
             "high_write_seconds": high_write["wall_seconds"],
+            "quorum_seconds": quorum["wall_seconds"],
+            "quorum_tx_per_s": quorum["wall_tx_per_s"],
         },
         "sim": {
             "macro": {k: v for k, v in macro.items() if not k.startswith("wall_")},
             "contended": {k: v for k, v in contended.items() if k != "wall_seconds"},
             "high_write": {k: v for k, v in high_write.items() if k != "wall_seconds"},
+            "quorum": {
+                k: v
+                for k, v in quorum.items()
+                if k not in ("wall_seconds", "wall_tx_per_s")
+            },
         },
     }
 
@@ -395,6 +485,13 @@ def check_regression(baseline: dict, out=sys.stdout) -> int:
         "lock_table_ops_per_s": probe_lock_table(rounds=rounds),
         "sim_events_per_s": probe_sim_kernel(rounds=rounds),
         "macro_tx_per_s": probe_macro(features, params, rounds=rounds)["wall_tx_per_s"],
+        # Quorum wall throughput joins the gate from BENCH_2 on; older
+        # baselines without the metric skip it (base is None below). The
+        # probe re-runs at the baseline's own density so the comparison
+        # stays apples-to-apples, like the macro params above.
+        "quorum_tx_per_s": probe_quorum(
+            features, quick=baseline.get("quick", False)
+        )["wall_tx_per_s"],
     }
     failures = []
     for metric, now in current.items():
@@ -440,6 +537,13 @@ def render(data: dict, out=sys.stdout) -> None:
           f"{h['sync_messages_per_commit']:.2f} sync messages per commit "
           f"({h['sync_messages']} messages, {h['group_batches']} batches), "
           f"commit latency {h['mean_response_ms']:.2f} ms", file=out)
+    q = sim.get("quorum")
+    if q:
+        print(f"  quorum: {q['committed']} committed, "
+              f"{q['sync_acks_per_commit']:.2f} sync acks awaited per commit, "
+              f"{q['quorum_reads']} quorum reads "
+              f"({q['read_repair_rate']:.2f} read-repair rate, "
+              f"{q['read_repairs']} repairs)", file=out)
 
 
 def main(argv: list[str] | None = None, out=sys.stdout) -> int:

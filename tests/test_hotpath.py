@@ -120,8 +120,15 @@ def replica_states(cluster, sites, doc_name="hot") -> dict:
 # ---------------------------------------------------------------------------
 
 class TestConfigKnobs:
-    def test_defaults_keep_paper_behaviour(self):
-        assert DEFAULT_CONFIG.wake_policy == "broadcast"
+    def test_targeted_wakes_are_the_default_now(self):
+        # Promoted after soaking across the PR 3-4 workloads: final states
+        # are policy-independent (test_targeted_cuts_wake_and_retry_traffic
+        # proves the digests byte-equal across policies), only the wasted
+        # wake-ups differ. The paper's literal rule stays available as the
+        # opt-out, and the BENCH feature sets keep pinning the policy
+        # explicitly so the recorded trajectories stay comparable.
+        assert DEFAULT_CONFIG.wake_policy == "targeted"
+        assert SystemConfig().with_(wake_policy="broadcast").wake_policy == "broadcast"
         assert DEFAULT_CONFIG.group_commit_window_ms == 0.0
 
     def test_wake_policy_validated(self):
