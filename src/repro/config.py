@@ -169,6 +169,12 @@ class SystemConfig:
         unchanged. Pure wall-clock optimisation: the cached spec retains
         its ``nodes_visited`` meter, so *simulated* costs and schedules
         are bit-identical with the cache on or off.
+    message_pool:
+        Recycle the highest-volume message objects (RemoteOpRequest /
+        RemoteOpResult) through a per-site pool instead of allocating one
+        per operation round. Pure wall-clock optimisation: pooled and
+        unpooled runs produce identical schedules and state digests
+        (asserted by tests). Pool hit/miss counts surface in ``SiteStats``.
     failure_detector:
         How the cluster learns about membership. ``"perfect"`` (default,
         the paper's modeling assumption) is the oracle: crashes are
@@ -218,6 +224,7 @@ class SystemConfig:
     wake_policy: str = "targeted"
     group_commit_window_ms: float = 0.0
     spec_cache: bool = True
+    message_pool: bool = True
     failure_detector: str = "perfect"
     heartbeat_interval_ms: float = 1.0
     lease_timeout_ms: float = 4.0

@@ -33,6 +33,7 @@ from .client import Client
 from .detector import DeadlockDetector
 from .faults import FaultManager
 from .results import RunResult
+from .messages import MessagePool
 from .site import DTXSite
 from .transaction import Transaction
 
@@ -64,6 +65,11 @@ class DTXCluster:
         )
         self._backend_factory = backend_factory or InMemoryStore
         self._started = False
+        # One message pool per cluster run: RemoteOpRequests migrate
+        # coordinator -> participant and the results migrate back, so the
+        # recycle loop only closes when all sites of a run share a pool.
+        # Per-run (never global) so pooling cannot couple two runs.
+        self.message_pool = MessagePool() if self.config.message_pool else None
 
     # -- construction ------------------------------------------------------
 
@@ -92,6 +98,7 @@ class DTXCluster:
             catalog=catalog,
             config=self.config,
             replication=self.replication,
+            pool=self.message_pool,
         )
         site.faults = self.faults
         self.sites[site_id] = site

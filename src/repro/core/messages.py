@@ -20,7 +20,7 @@ from .transaction import Operation, TxId
 _HEADER_BYTES = 48  # message envelope: ids, types, routing
 
 
-@dataclass
+@dataclass(slots=True)
 class RemoteOpRequest:
     """Coordinator -> participant: execute one operation (Alg. 1 l. 13).
 
@@ -40,7 +40,7 @@ class RemoteOpRequest:
         return _HEADER_BYTES + self.op.payload_size()
 
 
-@dataclass
+@dataclass(slots=True)
 class RemoteOpResult:
     """Participant -> coordinator: outcome of a remote operation (Alg. 2 l. 13)."""
 
@@ -62,7 +62,7 @@ class RemoteOpResult:
         return _HEADER_BYTES + 16 + self.result_size
 
 
-@dataclass
+@dataclass(slots=True)
 class UndoOpRequest:
     """Coordinator -> participant: back out one executed operation
 
@@ -78,7 +78,7 @@ class UndoOpRequest:
         return _HEADER_BYTES + 8
 
 
-@dataclass
+@dataclass(slots=True)
 class UndoOpAck:
     tid: TxId
     site: Hashable
@@ -89,7 +89,7 @@ class UndoOpAck:
         return _HEADER_BYTES + 8
 
 
-@dataclass
+@dataclass(slots=True)
 class CommitRequest:
     """Coordinator -> participant (Alg. 5 l. 4)."""
 
@@ -100,7 +100,7 @@ class CommitRequest:
         return _HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class CommitAck:
     tid: TxId
     site: Hashable
@@ -110,7 +110,7 @@ class CommitAck:
         return _HEADER_BYTES + 1
 
 
-@dataclass
+@dataclass(slots=True)
 class AbortRequest:
     """Coordinator -> participant (Alg. 6 l. 4)."""
 
@@ -121,7 +121,7 @@ class AbortRequest:
         return _HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class AbortAck:
     tid: TxId
     site: Hashable
@@ -131,7 +131,7 @@ class AbortAck:
         return _HEADER_BYTES + 1
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplicaSyncRequest:
     """Apply one committed update batch to a replica of one document.
 
@@ -166,7 +166,7 @@ class ReplicaSyncRequest:
         return _HEADER_BYTES + 24 + sum(op.payload_size() for op in self.ops)
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplicaSyncAck:
     tid: TxId
     site: Hashable
@@ -179,7 +179,7 @@ class ReplicaSyncAck:
         return _HEADER_BYTES + 9 + len(self.reason)
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplicaSyncBatch:
     """Group commit: several transactions' sync batches in one message.
 
@@ -205,7 +205,7 @@ class ReplicaSyncBatch:
         return _HEADER_BYTES + 16 + sum(e.payload_size() for e in self.entries)
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplicaSyncBatchAck:
     """One ack for a whole ReplicaSyncBatch, with per-transaction results.
 
@@ -225,7 +225,7 @@ class ReplicaSyncBatchAck:
         return _HEADER_BYTES + 8 + 9 * max(1, len(self.results)) + 8 * len(self.assigned)
 
 
-@dataclass
+@dataclass(slots=True)
 class FailNotice:
     """Coordinator -> all involved sites: transaction failed (Alg. 6 l. 7).
 
@@ -241,7 +241,7 @@ class FailNotice:
         return _HEADER_BYTES + 1
 
 
-@dataclass
+@dataclass(slots=True)
 class HeartbeatMessage:
     """Site -> every other site: I am alive (``failure_detector="lease"``).
 
@@ -266,7 +266,7 @@ class HeartbeatMessage:
         return _HEADER_BYTES + 12 + 16 * len(self.watermarks) + 20 * len(self.views)
 
 
-@dataclass
+@dataclass(slots=True)
 class LogTipQuery:
     """Elector -> every replica holder: report your log tip for ``doc_name``.
 
@@ -285,7 +285,7 @@ class LogTipQuery:
         return _HEADER_BYTES + 16
 
 
-@dataclass
+@dataclass(slots=True)
 class LogTipReport:
     """Candidate -> elector: my durable log tip for ``doc_name``.
 
@@ -306,7 +306,7 @@ class LogTipReport:
         return _HEADER_BYTES + 28
 
 
-@dataclass
+@dataclass(slots=True)
 class PrimaryAnnounce:
     """New primary -> every site: I lead ``doc_name`` under ``epoch`` now.
 
@@ -326,7 +326,7 @@ class PrimaryAnnounce:
         return _HEADER_BYTES + 16
 
 
-@dataclass
+@dataclass(slots=True)
 class SiteDownNotice:
     """Failure monitor -> every live site: ``site`` crashed.
 
@@ -342,7 +342,7 @@ class SiteDownNotice:
         return _HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class SiteUpNotice:
     """Failure monitor -> every live site: ``site`` recovered.
 
@@ -357,7 +357,7 @@ class SiteUpNotice:
         return _HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class CatchUpRequest:
     """Recovering/lagging replica -> primary: send me what I missed.
 
@@ -377,7 +377,7 @@ class CatchUpRequest:
         return _HEADER_BYTES + 24
 
 
-@dataclass
+@dataclass(slots=True)
 class CatchUpResponse:
     """Primary -> recovering replica: log suffix or full snapshot."""
 
@@ -396,7 +396,7 @@ class CatchUpResponse:
         return size
 
 
-@dataclass
+@dataclass(slots=True)
 class VersionProbe:
     """Quorum-read coordinator -> replicas: report your version for
     ``doc_name`` (``replica_read_policy="quorum"``).
@@ -417,7 +417,7 @@ class VersionProbe:
         return _HEADER_BYTES + 8
 
 
-@dataclass
+@dataclass(slots=True)
 class VersionReport:
     """Replica -> quorum-read coordinator: my durable log position.
 
@@ -441,7 +441,7 @@ class VersionReport:
         return _HEADER_BYTES + 28
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadRepairNudge:
     """Quorum-read coordinator -> lagging replica: you are behind, heal.
 
@@ -460,7 +460,7 @@ class ReadRepairNudge:
         return _HEADER_BYTES + 16
 
 
-@dataclass
+@dataclass(slots=True)
 class WakeNotice:
     """Participant -> coordinator: locks were released, retry waiting tx."""
 
@@ -471,7 +471,7 @@ class WakeNotice:
         return _HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class WfgRequest:
     """Detector -> every site: send me your wait-for graph (Alg. 4 l. 4)."""
 
@@ -481,7 +481,7 @@ class WfgRequest:
         return _HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class WfgResponse:
     site: Hashable
     edges: list = field(default_factory=list)
@@ -490,7 +490,7 @@ class WfgResponse:
         return _HEADER_BYTES + 24 * len(self.edges)
 
 
-@dataclass
+@dataclass(slots=True)
 class AbortOrder:
     """Detector -> victim's coordinator site: roll back this transaction
 
@@ -503,7 +503,7 @@ class AbortOrder:
         return _HEADER_BYTES + len(self.reason)
 
 
-@dataclass
+@dataclass(slots=True)
 class ClientRequest:
     """Client -> local DTX Listener: run this transaction."""
 
@@ -513,7 +513,7 @@ class ClientRequest:
         return _HEADER_BYTES + 96 * len(self.transaction.operations)
 
 
-@dataclass
+@dataclass(slots=True)
 class TxOutcome:
     """Listener -> client: final status of a submitted transaction."""
 
@@ -529,3 +529,68 @@ class TxOutcome:
     @property
     def committed(self) -> bool:
         return self.status == "committed"
+
+
+# ----------------------------------------------------------------------
+# message pooling
+# ----------------------------------------------------------------------
+
+#: Poison value written into every field of a released message (debug mode):
+#: any later read through a stale reference fails loudly instead of silently
+#: observing a recycled message's new contents.
+_POISON = object()
+
+
+class MessagePool:
+    """Explicit-recycle object pool for the highest-volume message types.
+
+    ``RemoteOpRequest`` / ``RemoteOpResult`` dominate allocations (one pair
+    per operation per participant per attempt); sites acquire them here and
+    release them once fully consumed. Releasing is always optional — a
+    message that escapes (dropped by the network, kept for reporting) is
+    simply collected by the GC and the pool misses on a later acquire.
+
+    ``debug=True`` poisons every slot on release and raises on double
+    release, which is what the lifecycle property tests run under. One pool
+    serves one cluster run (requests migrate coordinator → participant and
+    results migrate back, so the recycle loop closes across sites) — never
+    a global, so pooling cannot couple two runs.
+    """
+
+    __slots__ = ("debug", "max_free", "hits", "misses", "_free")
+
+    def __init__(self, debug: bool = False, max_free: int = 1024):
+        self.debug = debug
+        self.max_free = max_free
+        self.hits = 0
+        self.misses = 0
+        self._free: dict[type, list] = {}
+
+    def acquire(self, cls: type, *args: Any, **kwargs: Any) -> Any:
+        """A freshly-(re)initialised ``cls(*args, **kwargs)``."""
+        free = self._free.get(cls)
+        if free:
+            msg = free.pop()
+            msg.__init__(*args, **kwargs)
+            self.hits += 1
+            return msg
+        self.misses += 1
+        return cls(*args, **kwargs)
+
+    def release(self, msg: Any) -> None:
+        """Return ``msg`` to the pool; the caller must hold the last live
+        reference (the pool may hand the object out again immediately)."""
+        cls = msg.__class__
+        free = self._free.get(cls)
+        if free is None:
+            free = self._free[cls] = []
+        if self.debug:
+            if any(getattr(msg, slot) is _POISON for slot in cls.__slots__):
+                raise RuntimeError(f"double release of pooled {cls.__name__}")
+            for slot in cls.__slots__:
+                setattr(msg, slot, _POISON)
+        if len(free) < self.max_free:
+            free.append(msg)
+
+    def free_count(self, cls: type) -> int:
+        return len(self._free.get(cls, ()))

@@ -58,6 +58,7 @@ from .messages import (
     HeartbeatMessage,
     LogTipQuery,
     LogTipReport,
+    MessagePool,
     PrimaryAnnounce,
     ReadRepairNudge,
     RemoteOpRequest,
@@ -189,6 +190,12 @@ class SiteStats:
     sync_acks_awaited: int = 0  # ok remote acks counted at quorum-commit time
     quorum_read_retries: int = 0  # probe rounds re-run (silent/short reports)
     stale_reads_refused: int = 0  # follower reads bounced by the staleness fence
+    # Message pooling (config.message_pool). The pool is shared by all sites
+    # of a run, so these are *snapshots* of the cluster pool's cumulative
+    # counters as of this site's last pool interaction — read the max across
+    # sites (not the sum) for run totals.
+    pool_hits: int = 0  # acquires served by recycling a released message
+    pool_misses: int = 0  # acquires that had to allocate
 
 
 class DTXSite:
@@ -202,6 +209,7 @@ class DTXSite:
         catalog,
         config: SystemConfig,
         replication: Optional[ReplicationPolicy] = None,
+        pool: Optional[MessagePool] = None,
     ):
         self.env = env
         self.network = network
@@ -247,6 +255,14 @@ class DTXSite:
         self._tx_seq = 0
         self.stats = SiteStats()
         self.detector = None  # attached by the cluster on one site
+        # Recycle pool for the highest-volume messages, shared by the whole
+        # cluster run (requests and results migrate between sites). A
+        # standalone site gets its own; ``message_pool=False`` disables
+        # pooling entirely.
+        if not config.message_pool:
+            self._pool: Optional[MessagePool] = None
+        else:
+            self._pool = pool if pool is not None else MessagePool()
 
         # Fault tolerance. ``alive`` gates every externally visible effect;
         # ``logs`` is the durable per-document update log (survives crashes,
@@ -451,67 +467,97 @@ class DTXSite:
     # listener (Fig. 1: receives requests and inter-scheduler messages)
     # ------------------------------------------------------------------
 
+    def _on_client_request(self, msg: ClientRequest) -> None:
+        self.env.process(self._run_transaction(msg.transaction))
+
+    def _on_undo_request(self, msg: UndoOpRequest) -> None:
+        self.env.process(self._handle_undo_request(msg))
+
+    def _on_replica_sync(self, msg: ReplicaSyncRequest) -> None:
+        self.env.process(self._handle_replica_sync(msg))
+
+    def _on_replica_sync_batch(self, msg: ReplicaSyncBatch) -> None:
+        self.env.process(self._handle_replica_sync_batch(msg))
+
+    def _on_commit_request(self, msg: CommitRequest) -> None:
+        self.env.process(self._handle_commit_request(msg))
+
+    def _on_abort_request(self, msg: AbortRequest) -> None:
+        self.env.process(self._handle_abort_request(msg))
+
+    def _on_site_down_notice(self, msg: SiteDownNotice) -> None:
+        self._on_site_down(msg.site)
+
+    def _on_site_up_notice(self, msg: SiteUpNotice) -> None:
+        self._on_site_up(msg.site)
+
+    def _on_catchup_request(self, msg: CatchUpRequest) -> None:
+        self.env.process(self._handle_catchup_request(msg))
+
+    def _on_wake_notice(self, msg: WakeNotice) -> None:
+        self._wake_coordinator(msg.tid)
+
+    def _on_wfg_request(self, msg: WfgRequest) -> None:
+        self.network.send(
+            self.site_id, msg.requester,
+            WfgResponse(site=self.site_id, edges=self.wfg.snapshot()),
+        )
+
+    def _on_wfg_response(self, msg: WfgResponse) -> None:
+        if self.detector is not None:
+            self.detector.on_response(msg)
+
+    def _on_abort_order(self, msg: AbortOrder) -> None:
+        self._order_abort(msg.tid, msg.reason)
+
+    def _dispatch_table(self) -> dict:
+        """Exact-class message dispatch for the listener hot loop.
+
+        Message classes are never subclassed, so one dict lookup on
+        ``msg.__class__`` replaces the 25-branch isinstance chain the
+        listener used to walk per message.
+        """
+        return {
+            ClientRequest: self._on_client_request,
+            RemoteOpRequest: self.remote_ops.put,
+            RemoteOpResult: self._on_op_result,
+            UndoOpRequest: self._on_undo_request,
+            ReplicaSyncRequest: self._on_replica_sync,
+            ReplicaSyncBatch: self._on_replica_sync_batch,
+            ReplicaSyncBatchAck: self._on_batch_ack,
+            CommitRequest: self._on_commit_request,
+            AbortRequest: self._on_abort_request,
+            UndoOpAck: self._on_ack,
+            ReplicaSyncAck: self._on_ack,
+            CommitAck: self._on_ack,
+            AbortAck: self._on_ack,
+            FailNotice: self._handle_fail_notice,
+            SiteDownNotice: self._on_site_down_notice,
+            SiteUpNotice: self._on_site_up_notice,
+            HeartbeatMessage: self._on_heartbeat,
+            LogTipQuery: self._on_log_tip_query,
+            LogTipReport: self._on_log_tip_report,
+            PrimaryAnnounce: self._on_primary_announce,
+            CatchUpRequest: self._on_catchup_request,
+            CatchUpResponse: self._on_catchup_response,
+            VersionProbe: self._on_version_probe,
+            VersionReport: self._on_version_report,
+            ReadRepairNudge: self._on_read_repair,
+            WakeNotice: self._on_wake_notice,
+            WfgRequest: self._on_wfg_request,
+            WfgResponse: self._on_wfg_response,
+            AbortOrder: self._on_abort_order,
+        }
+
     def _listener(self):
+        handlers = self._dispatch_table()
+        inbox_get = self.inbox.get
         while True:
-            msg = yield self.inbox.get()
-            if isinstance(msg, ClientRequest):
-                self.env.process(self._run_transaction(msg.transaction))
-            elif isinstance(msg, RemoteOpRequest):
-                self.remote_ops.put(msg)
-            elif isinstance(msg, RemoteOpResult):
-                self._on_op_result(msg)
-            elif isinstance(msg, UndoOpRequest):
-                self.env.process(self._handle_undo_request(msg))
-            elif isinstance(msg, ReplicaSyncRequest):
-                self.env.process(self._handle_replica_sync(msg))
-            elif isinstance(msg, ReplicaSyncBatch):
-                self.env.process(self._handle_replica_sync_batch(msg))
-            elif isinstance(msg, ReplicaSyncBatchAck):
-                self._on_batch_ack(msg)
-            elif isinstance(msg, CommitRequest):
-                self.env.process(self._handle_commit_request(msg))
-            elif isinstance(msg, AbortRequest):
-                self.env.process(self._handle_abort_request(msg))
-            elif isinstance(msg, (UndoOpAck, ReplicaSyncAck, CommitAck, AbortAck)):
-                self._on_ack(msg)
-            elif isinstance(msg, FailNotice):
-                self._handle_fail_notice(msg)
-            elif isinstance(msg, SiteDownNotice):
-                self._on_site_down(msg.site)
-            elif isinstance(msg, SiteUpNotice):
-                self._on_site_up(msg.site)
-            elif isinstance(msg, HeartbeatMessage):
-                self._on_heartbeat(msg)
-            elif isinstance(msg, LogTipQuery):
-                self._on_log_tip_query(msg)
-            elif isinstance(msg, LogTipReport):
-                self._on_log_tip_report(msg)
-            elif isinstance(msg, PrimaryAnnounce):
-                self._on_primary_announce(msg)
-            elif isinstance(msg, CatchUpRequest):
-                self.env.process(self._handle_catchup_request(msg))
-            elif isinstance(msg, CatchUpResponse):
-                self._on_catchup_response(msg)
-            elif isinstance(msg, VersionProbe):
-                self._on_version_probe(msg)
-            elif isinstance(msg, VersionReport):
-                self._on_version_report(msg)
-            elif isinstance(msg, ReadRepairNudge):
-                self._on_read_repair(msg)
-            elif isinstance(msg, WakeNotice):
-                self._wake_coordinator(msg.tid)
-            elif isinstance(msg, WfgRequest):
-                self.network.send(
-                    self.site_id, msg.requester,
-                    WfgResponse(site=self.site_id, edges=self.wfg.snapshot()),
-                )
-            elif isinstance(msg, WfgResponse):
-                if self.detector is not None:
-                    self.detector.on_response(msg)
-            elif isinstance(msg, AbortOrder):
-                self._order_abort(msg.tid, msg.reason)
-            else:  # pragma: no cover - defensive
+            msg = yield inbox_get()
+            handler = handlers.get(msg.__class__)
+            if handler is None:  # pragma: no cover - defensive
                 raise ReproError(f"site {self.site_id}: unknown message {msg!r}")
+            handler(msg)
 
     # ------------------------------------------------------------------
     # operation execution against the local lock manager (Algorithm 3 caller)
@@ -857,22 +903,30 @@ class DTXSite:
     # ------------------------------------------------------------------
 
     def _participant_loop(self):
+        pool = self._pool
+        remote_get = self.remote_ops.get
+        dispatch_ms = self.costs.scheduler_dispatch_ms
         while True:
-            req: RemoteOpRequest = yield self.remote_ops.get()
-            yield self.env.timeout(self.costs.scheduler_dispatch_ms)
+            req: RemoteOpRequest = yield remote_get()
+            yield dispatch_ms
             if not self.alive or req.tid in self.finished:
-                continue  # site crashed / transaction ended while queued
+                # site crashed / transaction ended while queued
+                if pool is not None:
+                    pool.release(req)
+                continue
             if not self._coordinator_valid(req.coordinator, req.incarnation):
-                continue  # its coordinator died while this was queued:
-                # executing now would leak locks and effects nobody settles
-            result = self._execute_operation(req.tid, req.coordinator, req.op)
+                # its coordinator died while this was queued: executing now
+                # would leak locks and effects nobody settles
+                if pool is not None:
+                    pool.release(req)
+                continue
+            coordinator = req.coordinator
+            result = self._execute_operation(req.tid, coordinator, req.op)
             self.stats.remote_ops_served += 1
             if result.cost_ms:
-                yield self.env.timeout(result.cost_ms)
-            self.network.send(
-                self.site_id,
-                req.coordinator,
-                RemoteOpResult(
+                yield result.cost_ms
+            if pool is None:
+                reply = RemoteOpResult(
                     tid=req.tid,
                     site=self.site_id,
                     op_index=req.op.index,
@@ -883,17 +937,35 @@ class DTXSite:
                     failed=result.failed,
                     result_size=result.result_size,
                     stale=result.stale,
-                ),
-            )
+                )
+            else:
+                reply = pool.acquire(
+                    RemoteOpResult,
+                    tid=req.tid,
+                    site=self.site_id,
+                    op_index=req.op.index,
+                    attempt=req.attempt,
+                    acquired=result.acquired,
+                    executed=result.executed,
+                    deadlock=result.deadlock,
+                    failed=result.failed,
+                    result_size=result.result_size,
+                    stale=result.stale,
+                )
+                pool.release(req)  # fully consumed: recycle (req is dead now)
+                stats = self.stats
+                stats.pool_hits = pool.hits
+                stats.pool_misses = pool.misses
+            self.network.send(self.site_id, coordinator, reply)
 
     def _handle_undo_request(self, msg: UndoOpRequest):
         if not self.alive:
             return
         cost = self._undo_operation(msg.tid, msg.op_index)
         if cost:
-            yield self.env.timeout(cost)
+            yield (cost)
         else:
-            yield self.env.timeout(0)
+            yield (0)
         self.network.send(
             self.site_id, msg.coordinator,
             UndoOpAck(tid=msg.tid, site=self.site_id, op_index=msg.op_index, attempt=msg.attempt),
@@ -915,7 +987,7 @@ class DTXSite:
             return  # crashed before applying anything
         if self.should_refuse(msg.tid, self.refuse_sync):
             self.stats.syncs_refused += 1
-            yield self.env.timeout(0)
+            yield (0)
             self._send_sync_ack(msg, ok=False, reason="refused")
             return
         result = yield from self._ingest_sync_entry(
@@ -943,7 +1015,7 @@ class DTXSite:
                 return
             if self.should_refuse(entry.tid, self.refuse_sync):
                 self.stats.syncs_refused += 1
-                yield self.env.timeout(0)
+                yield (0)
                 results[entry.tid] = (False, "refused")
                 continue
             result = yield from self._ingest_sync_entry(
@@ -989,7 +1061,7 @@ class DTXSite:
             return None
         if epoch < self.catalog.epoch(doc_name):
             self.stats.syncs_refused += 1
-            yield self.env.timeout(0)
+            yield (0)
             return False, "stale-epoch", 0
         if log_only and lsn == 0:
             if tid in self.finished:
@@ -1000,7 +1072,7 @@ class DTXSite:
                 # the fail/commit path). Minting a fresh LSN now would log
                 # — and replicate — the same batch twice.
                 self.stats.syncs_refused += 1
-                yield self.env.timeout(0)
+                yield (0)
                 return False, "finished", 0
             lsn = self.catalog.allocate_lsn(doc_name)
         log = self.log_for(doc_name)
@@ -1022,11 +1094,11 @@ class DTXSite:
                 # Heal did not complete (primary down / mid-flight holes):
                 # refuse and stay behind; the next trigger retries.
                 self.stats.syncs_refused += 1
-                yield self.env.timeout(0)
+                yield (0)
                 return False, "gap", 0
         if log.has(lsn):
             # Duplicate delivery or replayed log entry: idempotent no-op.
-            yield self.env.timeout(cost)
+            yield (cost)
             return True, "", lsn
         if log_only:
             # This site is the document's primary and executed the updates
@@ -1052,7 +1124,7 @@ class DTXSite:
                 cost += (persisted / 1024.0) * self.costs.persist_per_kb_ms
                 ctx.synced = True  # a dead coordinator now resolves to commit
                 self.stats.replica_syncs_served += 1
-                yield self.env.timeout(cost)
+                yield (cost)
                 if self._maybe_crash("sync-applied"):
                     return None
                 return True, "", lsn
@@ -1077,7 +1149,7 @@ class DTXSite:
                 if not self.alive:
                     return None
                 if log.has(lsn):
-                    yield self.env.timeout(cost)
+                    yield (cost)
                     return True, "", lsn
                 if not caught_up and lsn > log.applied_lsn + 1:
                     # No response (primary down / timed out): stay behind
@@ -1091,7 +1163,7 @@ class DTXSite:
         )
         cost += self._apply_log_entry(entry)
         self.stats.replica_syncs_served += 1
-        yield self.env.timeout(cost)
+        yield (cost)
         if self._maybe_crash("sync-applied"):
             return None  # crashed after the durable apply, before the ack
         return True, "", lsn
@@ -1143,13 +1215,13 @@ class DTXSite:
         if not self.alive:
             return
         if self.should_refuse(msg.tid, self.refuse_commit):
-            yield self.env.timeout(0)
+            yield (0)
             self.network.send(
                 self.site_id, msg.coordinator, CommitAck(tid=msg.tid, site=self.site_id, ok=False)
             )
             return
         cost = self._commit_at_site(msg.tid)
-        yield self.env.timeout(cost)
+        yield (cost)
         self.network.send(
             self.site_id, msg.coordinator, CommitAck(tid=msg.tid, site=self.site_id, ok=True)
         )
@@ -1158,13 +1230,13 @@ class DTXSite:
         if not self.alive:
             return
         if self.should_refuse(msg.tid, self.refuse_abort):
-            yield self.env.timeout(0)
+            yield (0)
             self.network.send(
                 self.site_id, msg.coordinator, AbortAck(tid=msg.tid, site=self.site_id, ok=False)
             )
             return
         cost = self._abort_at_site(msg.tid)
-        yield self.env.timeout(cost)
+        yield (cost)
         self.network.send(
             self.site_id, msg.coordinator, AbortAck(tid=msg.tid, site=self.site_id, ok=True)
         )
@@ -1181,7 +1253,11 @@ class DTXSite:
     def _on_op_result(self, msg: RemoteOpResult) -> None:
         rec = self.coordinators.get(msg.tid)
         if rec is None or msg.attempt != rec.attempt:
-            return  # stale reply from a superseded attempt
+            # Stale reply from a superseded attempt: nobody will ever read
+            # it, so it can recycle immediately.
+            if self._pool is not None:
+                self._pool.release(msg)
+            return
         rec.responses[msg.site] = msg
         if (
             rec.response_event is not None
@@ -1398,7 +1474,7 @@ class DTXSite:
                 self.stats.lease_refusals += 1
                 raise _AbortTx("no-primary-lease")
             tx.sites_involved.update(sites)
-            yield self.env.timeout(self.costs.scheduler_dispatch_ms)
+            yield self.costs.scheduler_dispatch_ms
             self._check_alive()
 
             # Ship the operation to every routed site (all replicas under
@@ -1410,15 +1486,20 @@ class DTXSite:
             rec.expected = set(sites)
             rec.responses = {}
             rec.response_event = self.env.event()
+            pool = self._pool
             for site in sites:
-                self.network.send(
-                    self.site_id,
-                    site,
-                    RemoteOpRequest(
+                if pool is None:
+                    req = RemoteOpRequest(
                         tid=rec.tid, coordinator=self.site_id, op=op,
                         attempt=rec.attempt, incarnation=self.incarnation,
-                    ),
-                )
+                    )
+                else:
+                    req = pool.acquire(
+                        RemoteOpRequest,
+                        tid=rec.tid, coordinator=self.site_id, op=op,
+                        attempt=rec.attempt, incarnation=self.incarnation,
+                    )
+                self.network.send(self.site_id, site, req)
             if self.membership is None:
                 results = yield rec.response_event
             else:
@@ -1441,6 +1522,20 @@ class DTXSite:
             any_failed = any(r.failed for r in results.values())
             any_deadlock = any(r.deadlock for r in results.values())
             any_stale = any(r.stale for r in results.values())
+            executed_sites = [
+                r.site
+                for r in results.values()
+                if r.executed and self._peer_up(r.site)
+            ]
+            if pool is not None:
+                # Every datum the round needs is extracted above: recycle
+                # the responses. Late same-attempt replies (lease mode)
+                # simply stay un-released and are collected by the GC.
+                for r in results.values():
+                    pool.release(r)
+                stats = self.stats
+                stats.pool_hits = pool.hits
+                stats.pool_misses = pool.misses
 
             if acquired_all and not any_failed and not any_stale:
                 op.executed = True
@@ -1453,11 +1548,6 @@ class DTXSite:
                 return
 
             # Back out sites where the operation did execute (Alg. 1 l. 16).
-            executed_sites = [
-                r.site
-                for r in results.values()
-                if r.executed and self._peer_up(r.site)
-            ]
             if executed_sites:
                 self._collect_acks(rec, "undo", executed_sites)
                 for site in executed_sites:
@@ -2021,7 +2111,7 @@ class DTXSite:
         first batch rounds of :meth:`_flush_sequenced_batch` and settle
         every waiter from the collected per-transaction ack results.
         """
-        yield self.env.timeout(self.config.group_commit_window_ms)
+        yield (self.config.group_commit_window_ms)
         box.open = False
         if self._sync_outboxes.get(key) is box:
             del self._sync_outboxes[key]
@@ -2328,7 +2418,7 @@ class DTXSite:
                 return False
         cost = self._commit_at_site(rec.tid)
         if cost:
-            yield self.env.timeout(cost)
+            yield (cost)
             self._check_alive()
         return True
 
@@ -2372,7 +2462,7 @@ class DTXSite:
                 return False
         cost = self._abort_at_site(rec.tid)
         if cost:
-            yield self.env.timeout(cost)
+            yield (cost)
             self._check_alive()
         return True
 
@@ -2496,7 +2586,7 @@ class DTXSite:
         self.env.process(self._recovery_catchup())
 
     def _recovery_catchup(self):
-        yield self.env.timeout(self.costs.scheduler_dispatch_ms)
+        yield (self.costs.scheduler_dispatch_ms)
         for name in sorted(self.data_manager.live_documents()):
             if not self.alive:
                 return
@@ -2512,7 +2602,7 @@ class DTXSite:
                 caught_up = yield from self._catch_up(name)
                 if caught_up or not self.alive:
                     break
-                yield self.env.timeout(self.config.catchup_timeout_ms / 4)
+                yield (self.config.catchup_timeout_ms / 4)
                 if not self.alive:
                     return
                 rset = self.catalog.replica_set(name)
@@ -2617,7 +2707,7 @@ class DTXSite:
         """
         interval = self.config.heartbeat_interval_ms
         while True:
-            yield self.env.timeout(interval)
+            yield (interval)
             if not self.alive:
                 continue
             watermarks: dict = {}
@@ -2653,7 +2743,7 @@ class DTXSite:
         interval = self.config.heartbeat_interval_ms
         while True:
             self.membership.grace(self._membership_peers(), self.env.now)
-            yield self.env.timeout(interval)
+            yield (interval)
             if not self.alive:
                 continue
             for peer in self._membership_peers():
@@ -2857,7 +2947,7 @@ class DTXSite:
                                 epoch=epoch,
                             ),
                         )
-                yield self.env.timeout(self.config.election_timeout_ms)
+                yield (self.config.election_timeout_ms)
                 self._election_reports.pop(eid, None)
                 if not self.alive:
                     return
@@ -2876,7 +2966,7 @@ class DTXSite:
                     # may be the minority forever (then nothing commits
                     # here, which is exactly the point).
                     self.stats.elections_no_quorum += 1
-                    yield self.env.timeout(self.config.lease_timeout_ms)
+                    yield (self.config.lease_timeout_ms)
                     continue
                 order = list(rset.all_sites)
                 winner = min(
@@ -2887,7 +2977,7 @@ class DTXSite:
                     # The winner reported, so it is live on our side; its
                     # own election will promote it. Re-check later in case
                     # that never happens (e.g. its suspicion lags ours).
-                    yield self.env.timeout(self.config.lease_timeout_ms)
+                    yield (self.config.lease_timeout_ms)
                     continue
                 self._assume_primacy(doc_name, suspect)
                 return
@@ -2939,7 +3029,7 @@ class DTXSite:
         promotion and by SiteUpNotice handling; a no-op when this site is
         already caught up (the catch-up response carries no entries)."""
         def _run():
-            yield self.env.timeout(self.costs.scheduler_dispatch_ms)
+            yield (self.costs.scheduler_dispatch_ms)
             if self.alive:
                 yield from self._catch_up(doc_name)
         self.env.process(_run())
@@ -3017,7 +3107,7 @@ class DTXSite:
                     replayed += 1
                 self.stats.catchup_entries_replayed += replayed
                 self.stats.catchups += 1
-                yield self.env.timeout(cost)
+                yield (cost)
                 if not phantom:
                     return True
                 if not self.alive or force_snapshot:
@@ -3045,7 +3135,7 @@ class DTXSite:
     def _handle_catchup_request(self, msg: CatchUpRequest):
         if not self.alive:
             return
-        yield self.env.timeout(self.costs.scheduler_dispatch_ms)
+        yield (self.costs.scheduler_dispatch_ms)
         if not self.alive:
             return
         doc_name = msg.doc_name
@@ -3156,7 +3246,7 @@ class DTXSite:
         log survives on disk, but the promoted successor does not have
         the batch).
         """
-        yield self.env.timeout(self.config.lazy_staleness_ms)
+        yield (self.config.lazy_staleness_ms)
         if not self.alive or self.incarnation != incarnation:
             return
         entries = self._lazy_outboxes.pop(doc_name, [])

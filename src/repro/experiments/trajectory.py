@@ -7,7 +7,9 @@ of wall-clock and simulated-metric probes:
 * **lock micro** — raw :class:`~repro.locking.table.LockTable`
   acquire/release throughput (wall-clock ops/sec);
 * **kernel micro** — simulation-kernel event throughput (wall-clock
-  events/sec);
+  events/sec, flat-timer path) plus the :func:`probe_kernel` breakdown:
+  Timeout-object dispatch, scheduler-queue churn, and message allocation
+  raw vs pooled;
 * **macro** — a standard mixed replicated workload: wall seconds to run
   it, wall transactions/sec (the regression-check headline), and the
   simulated commit latency;
@@ -31,6 +33,7 @@ reported); the harness itself never uses fewer than 3 rounds.
 from __future__ import annotations
 
 import argparse
+import gc
 import glob
 import hashlib
 import json
@@ -85,13 +88,24 @@ def bench_rounds(minimum: int = 3) -> int:
 
 
 def _best_of(fn, rounds: int) -> tuple[float, object]:
-    """Run ``fn`` ``rounds`` times; return (best wall seconds, last result)."""
+    """Run ``fn`` ``rounds`` times; return (best wall seconds, last result).
+
+    GC is paused around the timed region: a collection landing inside one
+    round otherwise dominates the microsecond-scale probes (best-of helps,
+    but with few rounds every sample can be hit on a busy machine).
+    """
     best = float("inf")
     result = None
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        if was_enabled:
+            gc.enable()
     return best, result
 
 
@@ -119,10 +133,45 @@ def probe_lock_table(n_ops: int = 40_000, rounds: int = 3) -> float:
     return n_ops / max(seconds, 1e-9)
 
 
-def probe_sim_kernel(n_events: int = 30_000, rounds: int = 3) -> float:
-    """Simulation-kernel event throughput in events per second."""
+def probe_sim_kernel(n_events: int = 120_000, rounds: int = 3) -> float:
+    """Simulation-kernel event throughput in events per second.
+
+    Measures the kernel's canonical timer form — the flat numeric yield
+    (``yield 0.01``), which is what the site hot paths use. The classic
+    Timeout-object path is measured separately by :func:`probe_kernel`.
+    """
 
     def run() -> None:
+        env = Environment()
+
+        def ticker(n):
+            for _ in range(n):
+                yield 0.01
+
+        for lane in range(4):
+            env.process(ticker(n_events // 4))
+        env.run()
+
+    seconds, _ = _best_of(run, rounds)
+    return n_events / max(seconds, 1e-9)
+
+
+def probe_kernel(rounds: int = 3) -> dict:
+    """Kernel micro-probes beyond the headline events/s number.
+
+    * ``event_dispatch_per_s`` — the classic Timeout-object path (one event
+      allocation per timer), the pre-flat-timer shape of probe_sim_kernel;
+    * ``queue_churn_ops_per_s`` — :class:`~repro.sim.queues.SchedulerQueue`
+      schedule/cancel/pop churn (timer-wheel style usage with retractions);
+    * ``msg_alloc_per_s`` / ``msg_pool_per_s`` — RemoteOpResult construction
+      raw vs recycled through a :class:`~repro.core.messages.MessagePool`.
+    """
+    from ..core.messages import MessagePool, RemoteOpResult
+    from ..sim.queues import SchedulerQueue
+
+    n_events = 60_000
+
+    def dispatch() -> None:
         env = Environment()
 
         def ticker(n):
@@ -133,8 +182,50 @@ def probe_sim_kernel(n_events: int = 30_000, rounds: int = 3) -> float:
             env.process(ticker(n_events // 4))
         env.run()
 
-    seconds, _ = _best_of(run, rounds)
-    return n_events / max(seconds, 1e-9)
+    dispatch_s, _ = _best_of(dispatch, rounds)
+
+    n_churn = 60_000
+
+    def churn() -> None:
+        q = SchedulerQueue()
+        handles = []
+        for i in range(n_churn):
+            handles.append(q.schedule(float(i % 97), i))
+            if i % 3 == 2:
+                q.cancel(handles[i - 2])
+            if i % 7 == 6:
+                q.pop()
+        while len(q):
+            q.pop()
+
+    churn_s, _ = _best_of(churn, rounds)
+
+    n_msgs = 50_000
+
+    def make(pool: MessagePool | None) -> None:
+        for i in range(n_msgs):
+            if pool is None:
+                msg = RemoteOpResult(
+                    tid="t", site="s", op_index=i, attempt=0,
+                    acquired=True, executed=True, deadlock=False, failed=False,
+                )
+            else:
+                msg = pool.acquire(
+                    RemoteOpResult,
+                    tid="t", site="s", op_index=i, attempt=0,
+                    acquired=True, executed=True, deadlock=False, failed=False,
+                )
+                pool.release(msg)
+
+    alloc_s, _ = _best_of(lambda: make(None), rounds)
+    pool_s, _ = _best_of(lambda: make(MessagePool()), rounds)
+
+    return {
+        "event_dispatch_per_s": n_events / max(dispatch_s, 1e-9),
+        "queue_churn_ops_per_s": n_churn / max(churn_s, 1e-9),
+        "msg_alloc_per_s": n_msgs / max(alloc_s, 1e-9),
+        "msg_pool_per_s": n_msgs / max(pool_s, 1e-9),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -406,6 +497,7 @@ def run_trajectory(features_name: str = "optimized", quick: bool = False) -> dic
         "wall": {
             "lock_table_ops_per_s": probe_lock_table(rounds=rounds),
             "sim_events_per_s": probe_sim_kernel(rounds=rounds),
+            **{f"kernel_{k}": v for k, v in probe_kernel(rounds=rounds).items()},
             "macro_seconds": macro["wall_seconds"],
             "macro_tx_per_s": macro["wall_tx_per_s"],
             "contended_seconds": contended["wall_seconds"],
@@ -484,6 +576,9 @@ def check_regression(baseline: dict, out=sys.stdout) -> int:
     current = {
         "lock_table_ops_per_s": probe_lock_table(rounds=rounds),
         "sim_events_per_s": probe_sim_kernel(rounds=rounds),
+        # Kernel micro metrics gate from the first baseline that records
+        # them (BENCH_3 on); older baselines skip them via the None check.
+        **{f"kernel_{k}": v for k, v in probe_kernel(rounds=rounds).items()},
         "macro_tx_per_s": probe_macro(features, params, rounds=rounds)["wall_tx_per_s"],
         # Quorum wall throughput joins the gate from BENCH_2 on; older
         # baselines without the metric skip it (base is None below). The
@@ -527,6 +622,11 @@ def render(data: dict, out=sys.stdout) -> None:
           f"kernel {wall['sim_events_per_s']:,.0f} events/s, "
           f"macro {wall['macro_tx_per_s']:,.1f} tx/s "
           f"({wall['macro_seconds']:.3f}s)", file=out)
+    if "kernel_event_dispatch_per_s" in wall:
+        print(f"  kernel micro: dispatch {wall['kernel_event_dispatch_per_s']:,.0f} ev/s, "
+              f"queue churn {wall['kernel_queue_churn_ops_per_s']:,.0f} ops/s, "
+              f"msg alloc {wall['kernel_msg_alloc_per_s']:,.0f}/s "
+              f"(pooled {wall['kernel_msg_pool_per_s']:,.0f}/s)", file=out)
     c = sim["contended"]
     print(f"  contended: {c['committed']} committed, "
           f"{c['wake_plus_lock_ops_per_commit']:.1f} wake notices + lock ops "

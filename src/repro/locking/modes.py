@@ -69,13 +69,22 @@ class CompatibilityMatrix:
             for m in pair:
                 if m not in valid:
                     raise LockError(f"{name}: unknown mode {m!r} in matrix")
+        # requested mode -> frozenset of held modes it conflicts with. The
+        # lock table's per-request conflict test becomes one C-level set
+        # intersection instead of a frozenset allocation per held pair.
+        self.conflicts_with: dict = {
+            req: frozenset(
+                held for held in modes if frozenset((held, req)) in self._incompatible
+            )
+            for req in modes
+        }
 
     def compatible(self, held, requested) -> bool:
         """True when ``requested`` can be granted alongside ``held``."""
-        return frozenset((held, requested)) not in self._incompatible
+        return held not in self.conflicts_with[requested]
 
     def compatible_with_all(self, held_modes: Iterable, requested) -> bool:
-        return all(self.compatible(h, requested) for h in held_modes)
+        return self.conflicts_with[requested].isdisjoint(held_modes)
 
     def pairs(self) -> list[tuple]:
         """Every unordered mode pair with its compatibility (for reporting)."""

@@ -18,7 +18,7 @@ from typing import Hashable
 LockKey = Hashable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LockRequest:
     key: LockKey
     mode: object  # a member of the protocol's mode enum
@@ -40,12 +40,24 @@ class LockSpec:
     requests: list[LockRequest] = field(default_factory=list)
     nodes_visited: int = 0
     transient_ops: int = 0
+    # Memoized deduplicated() result — specs are computed once and then
+    # replayed on every retry of a blocked operation (and served from the
+    # spec cache), so the dedup pass runs many times per spec. Invalidated
+    # by add(); mutating ``requests`` directly after the first
+    # deduplicated() call is unsupported.
+    _dedup: "LockSpec | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def add(self, key: LockKey, mode) -> None:
         self.requests.append(LockRequest(key, mode))
+        self._dedup = None
 
     def deduplicated(self) -> "LockSpec":
         """Drop repeated (key, mode) pairs, keeping first-occurrence order."""
+        memo = self._dedup
+        if memo is not None:
+            return memo
         seen: set[tuple] = set()
         out: list[LockRequest] = []
         for req in self.requests:
@@ -53,11 +65,14 @@ class LockSpec:
             if marker not in seen:
                 seen.add(marker)
                 out.append(req)
-        return LockSpec(
+        memo = LockSpec(
             requests=out,
             nodes_visited=self.nodes_visited,
             transient_ops=self.transient_ops,
         )
+        memo._dedup = memo  # a deduplicated spec is its own fixed point
+        self._dedup = memo
+        return memo
 
     def __len__(self) -> int:
         return len(self.requests)

@@ -6,6 +6,12 @@ DocLock2PL. Transactions are identified by any hashable id.
 
 The table counts every check/insert/release in ``lock_ops`` — the paper's
 "lock management overhead" — which the simulation converts to CPU time.
+
+Hot-path layout: the two indexes share one mode-set object per (key, tx)
+pair, the conflict test uses the matrix's precomputed ``conflicts_with``
+frozensets (one C-level ``isdisjoint`` per holder), and a live grant counter
+makes :meth:`lock_count` O(1) — it is read once per executed operation for
+the peak-lock-count statistic.
 """
 
 from __future__ import annotations
@@ -16,15 +22,23 @@ from ..errors import LockError
 from .modes import CompatibilityMatrix
 from .requests import LockKey
 
+#: Shared empty result for the granted paths of :meth:`LockTable.try_acquire`
+#: (callers only read it; compares equal to ``set()``).
+_NO_CONFLICTS: frozenset = frozenset()
+
 
 class LockTable:
     def __init__(self, matrix: CompatibilityMatrix):
         self.matrix = matrix
         # key -> tx -> set of modes held
         self._held: dict[LockKey, dict[Hashable, set]] = {}
-        # tx -> key -> set of modes held (release index)
+        # tx -> key -> set of modes held (release index). The per-(key, tx)
+        # mode set is the *same object* in both indexes.
         self._by_tx: dict[Hashable, dict[LockKey, set]] = {}
         self.lock_ops = 0
+        self._grants = 0  # live (key, tx, mode) grant count
+        self._conflicts_with = matrix.conflicts_with
+        self._modes_cls = matrix.modes
 
     # -- acquisition ------------------------------------------------------
 
@@ -37,26 +51,35 @@ class LockTable:
         not already hold (callers track new pairs to back out one operation).
         """
         self.lock_ops += 1
-        if not isinstance(mode, self.matrix.modes):
+        if not isinstance(mode, self._modes_cls):
             raise LockError(
                 f"{self.matrix.name} table cannot hold {mode!r} "
-                f"(expected a {self.matrix.modes.__name__})"
+                f"(expected a {self._modes_cls.__name__})"
             )
         holders = self._held.get(key)
         if holders:
+            bad = self._conflicts_with[mode]
             conflicts = {
                 other
                 for other, modes in holders.items()
-                if other != tx and not self.matrix.compatible_with_all(modes, mode)
+                if other != tx and not bad.isdisjoint(modes)
             }
             if conflicts:
                 return conflicts, False
-        own = self._by_tx.setdefault(tx, {}).setdefault(key, set())
-        if mode in own:
-            return set(), False
+        by_tx = self._by_tx
+        keys = by_tx.get(tx)
+        if keys is None:
+            keys = by_tx[tx] = {}
+        own = keys.get(key)
+        if own is None:
+            if holders is None:
+                holders = self._held[key] = {}
+            own = keys[key] = holders[tx] = set()
+        elif mode in own:
+            return _NO_CONFLICTS, False
         own.add(mode)
-        self._held.setdefault(key, {}).setdefault(tx, set()).add(mode)
-        return set(), True
+        self._grants += 1
+        return _NO_CONFLICTS, True
 
     # -- release -----------------------------------------------------------
 
@@ -64,11 +87,12 @@ class LockTable:
         """Release a single (key, mode) pair (used to back out an operation)."""
         self.lock_ops += 1
         try:
-            self._by_tx[tx][key].remove(mode)
-            self._held[key][tx].remove(mode)
+            own = self._by_tx[tx][key]
+            own.remove(mode)
         except KeyError:
             raise LockError(f"{tx} does not hold {mode!r} on {key!r}") from None
-        if not self._by_tx[tx][key]:
+        self._grants -= 1
+        if not own:
             del self._by_tx[tx][key]
             del self._held[key][tx]
             if not self._by_tx[tx]:
@@ -78,14 +102,21 @@ class LockTable:
 
     def release_transaction(self, tx: Hashable) -> list[LockKey]:
         """Release everything ``tx`` holds (strict 2PL: at commit/abort only)."""
-        keys = list(self._by_tx.get(tx, ()))
+        held = self._by_tx.pop(tx, None)
+        if held is None:
+            self.lock_ops += 1
+            return []
+        keys = list(held)
         self.lock_ops += max(1, len(keys))
-        for key in keys:
-            holders = self._held[key]
+        _held = self._held
+        released = 0
+        for key, modes in held.items():
+            released += len(modes)
+            holders = _held[key]
             del holders[tx]
             if not holders:
-                del self._held[key]
-        self._by_tx.pop(tx, None)
+                del _held[key]
+        self._grants -= released
         return keys
 
     # -- inspection ----------------------------------------------------------
@@ -101,9 +132,7 @@ class LockTable:
 
     def lock_count(self) -> int:
         """Total number of (key, tx, mode) grants currently held."""
-        return sum(
-            len(modes) for holders in self._held.values() for modes in holders.values()
-        )
+        return self._grants
 
     def is_empty(self) -> bool:
         return not self._held
@@ -124,3 +153,7 @@ class LockTable:
         }
         if forward != backward:
             raise LockError("lock table indexes diverged")
+        if len(forward) != self._grants:
+            raise LockError(
+                f"grant counter diverged: {self._grants} != {len(forward)}"
+            )

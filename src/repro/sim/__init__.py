@@ -3,7 +3,7 @@
 from .environment import Environment, RealtimeEnvironment
 from .events import AllOf, AnyOf, Event, Process, Timeout
 from .network import Network, NetworkStats
-from .queues import Store
+from .queues import SchedulerQueue, Store
 from .rng import substream
 
 __all__ = [
@@ -15,6 +15,7 @@ __all__ = [
     "NetworkStats",
     "Process",
     "RealtimeEnvironment",
+    "SchedulerQueue",
     "Store",
     "Timeout",
     "substream",

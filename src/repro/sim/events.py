@@ -4,10 +4,19 @@ The design follows the classic SimPy architecture: an :class:`Event` carries
 callbacks and an outcome (value or exception); processes are generators that
 ``yield`` events and are resumed when those events fire. The kernel lives in
 :mod:`repro.sim.environment`.
+
+Hot-path layout notes: every class here is ``__slots__``-only and the
+constructors of the high-volume types (:class:`Event`, :class:`Timeout`,
+:class:`Process`) assign their fields flat instead of chaining through
+``super().__init__`` — a simulated millisecond dispatches thousands of these.
+Besides events, a process may yield a bare nonnegative number: the *flat
+timer* path, equivalent to ``yield env.timeout(delay)`` but reusing one
+preallocated tick event per process, so a pure timer step allocates nothing.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Iterable, Optional
 
 from ..errors import SimulationError
@@ -60,7 +69,7 @@ class Event:
     # -- outcome -----------------------------------------------------------
 
     def succeed(self, value: Any = None) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
@@ -68,7 +77,7 @@ class Event:
         return self
 
     def fail(self, exception: BaseException) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exception!r}")
@@ -90,10 +99,12 @@ class Timeout(Event):
     def __init__(self, env, delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._defused = False
+        self.delay = delay
         env._schedule(self, delay)
 
 
@@ -102,56 +113,101 @@ class Process(Event):
 
     The generator yields :class:`Event` instances; each resume sends the
     yielded event's value back in (or throws its exception, letting the
-    process ``try/except`` failures of sub-events).
+    process ``try/except`` failures of sub-events). Yielding a bare
+    nonnegative ``int`` or ``float`` is the flat timer form of
+    ``yield env.timeout(delay)``: same schedule position (both schedule at
+    resume time, before anything else can run), no per-timer allocation —
+    the process's one reusable tick event carries it. ``bool`` is
+    deliberately not a timer (``yield True`` is a bug, not a zero-delay).
     """
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_tick", "_tick_cbs", "_inline")
 
     def __init__(self, env, generator):
         if not hasattr(generator, "send"):
             raise SimulationError(f"process needs a generator, got {generator!r}")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self._generator = generator
-        self._waiting_on: Optional[Event] = None
-        # Kick the process off via an immediately-scheduled bootstrap event.
-        bootstrap = Event(env)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap._ok = True
-        bootstrap._value = None
-        env._schedule(bootstrap, 0.0)
+        # Environments whose queue *is* the stock bucket structure let the
+        # flat-timer path below write ticks straight into it (saves a method
+        # call per timer); kernels with their own queue (the differential
+        # oracle) clear _FLAT_INLINE and ticks route through _schedule.
+        self._inline: bool = env._FLAT_INLINE
+        # The reusable tick: bootstraps the generator now, then carries every
+        # flat-timer yield. Its singleton callback list is restored before
+        # each reschedule (dispatch nulls it), so a timer step allocates
+        # nothing. The tick never fails and carries no value, exactly like
+        # the bootstrap event and a value-less Timeout.
+        tick = Event.__new__(Event)
+        tick.env = env
+        tick.callbacks = cbs = [self._resume]
+        tick._value = None
+        tick._ok = True
+        tick._defused = False
+        self._tick = tick
+        self._tick_cbs = cbs
+        env._schedule(tick, 0.0)
 
     @property
     def is_alive(self) -> bool:
         return not self.triggered
 
     def _resume(self, trigger: Event) -> None:
-        self._waiting_on = None
+        generator = self._generator
         while True:
             try:
                 if trigger._ok:
-                    target = self._generator.send(trigger._value)
+                    target = generator.send(trigger._value)
                 else:
-                    trigger.defuse()
-                    target = self._generator.throw(trigger._value)
+                    trigger._defused = True
+                    target = generator.throw(trigger._value)
             except StopIteration as stop:
                 self.succeed(stop.value)
                 return
             except BaseException as exc:
                 self.fail(exc)
                 return
-            if not isinstance(target, Event):
-                exc = SimulationError(
-                    f"process yielded a non-event: {target!r}"
-                )
-                self._generator.close()
+            cls = target.__class__
+            if cls is float or cls is int:
+                # Flat timer: reschedule the reusable tick.
+                if target < 0:
+                    exc = SimulationError(f"negative timeout delay {target!r}")
+                    generator.close()
+                    self.fail(exc)
+                    return
+                tick = self._tick
+                tick.callbacks = self._tick_cbs
+                env = self.env
+                if self._inline:
+                    # env._schedule(tick, target), by hand: this is the
+                    # hottest line of the whole simulator.
+                    t = env._now + target
+                    buckets = env._buckets
+                    b = buckets.get(t)
+                    if b is None:
+                        heappush(env._times, t)
+                        buckets[t] = [tick]
+                    else:
+                        b.append(tick)
+                else:
+                    env._schedule(tick, target)
+                return
+            try:
+                cbs = target.callbacks
+            except AttributeError:
+                exc = SimulationError(f"process yielded a non-event: {target!r}")
+                generator.close()
                 self.fail(exc)
                 return
-            if target.processed:
+            if cbs is None:
                 # Already fired: resume immediately with its outcome.
                 trigger = target
                 continue
-            target.callbacks.append(self._resume)
-            self._waiting_on = target
+            cbs.append(self._resume)
             return
 
 
@@ -161,7 +217,11 @@ class Condition(Event):
     __slots__ = ("events", "_pending")
 
     def __init__(self, env, events: Iterable[Event]):
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.events = list(events)
         for ev in self.events:
             if ev.env is not env:

@@ -189,24 +189,23 @@ class Network:
         if size_bytes is None:
             size_bytes = getattr(payload, "size_bytes", lambda: 64)()
         delay = self.delay_for(src, dst, size_bytes)
-        kind = type(payload).__name__
+        kind = payload.__class__.__name__
         self.stats.record(kind, size_bytes, local=(src == dst))
-
-        def deliver(_ev) -> None:
-            # Re-check at delivery time: the destination may have crashed —
-            # or a partition may have cut the link — while the message was
-            # in flight.
-            if dst in self._down:
-                self.stats.dropped += 1
-                return
-            if not self.reachable(src, dst):
-                self.stats.partition_drops += 1
-                return
-            inbox.put(payload)
-
-        ev = self.env.event()
-        ev.callbacks.append(deliver)
-        ev._ok = True
-        ev._value = None
-        self.env._schedule(ev, delay)
+        # Flat scheduling: no Event or closure per message. All deliveries
+        # landing on the same tick share one kernel bucket and are drained
+        # in a single dispatch pass.
+        self.env._schedule_flat(delay, self._deliver, (src, dst, inbox, payload))
         return delay
+
+    def _deliver(self, args: tuple) -> None:
+        # Re-check at delivery time: the destination may have crashed —
+        # or a partition may have cut the link — while the message was
+        # in flight.
+        src, dst, inbox, payload = args
+        if dst in self._down:
+            self.stats.dropped += 1
+            return
+        if not self.reachable(src, dst):
+            self.stats.partition_drops += 1
+            return
+        inbox.put(payload)

@@ -11,6 +11,16 @@ from __future__ import annotations
 
 import hashlib
 import random
+from functools import lru_cache
+
+
+@lru_cache(maxsize=4096)
+def _derived_seed(material: bytes) -> int:
+    """Cached blake2b seed derivation — clusters re-derive the same named
+    substreams on every construction, so the hash work is memoized. Only
+    the derived *integer* is cached; every :func:`substream` call still
+    returns a fresh, independent generator."""
+    return int.from_bytes(hashlib.blake2b(material, digest_size=8).digest(), "big")
 
 
 def substream(seed: int, *names: object) -> random.Random:
@@ -20,5 +30,4 @@ def substream(seed: int, *names: object) -> random.Random:
     versions (blake2b, not ``hash()``).
     """
     material = repr((int(seed),) + tuple(str(n) for n in names)).encode()
-    digest = hashlib.blake2b(material, digest_size=8).digest()
-    return random.Random(int.from_bytes(digest, "big"))
+    return random.Random(_derived_seed(material))

@@ -1,9 +1,14 @@
 """Correctness verifiers usable by tests and downstream users."""
 
+from .schedule_digest import ReferenceEnvironment, TraceRecorder, describe_item, trace_digest
 from .serial import final_state_serializable, find_equivalent_serial_order, replay_serial
 
 __all__ = [
+    "ReferenceEnvironment",
+    "TraceRecorder",
+    "describe_item",
     "final_state_serializable",
     "find_equivalent_serial_order",
     "replay_serial",
+    "trace_digest",
 ]

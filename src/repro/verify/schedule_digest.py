@@ -1,0 +1,182 @@
+"""Differential schedule-equivalence tooling for the event kernel.
+
+The production :class:`~repro.sim.environment.Environment` dispatches from an
+indexed bucket queue (a heap of distinct times plus per-time FIFO lists).
+Its correctness claim — bucket FIFO order is exactly classic ``(time, seq)``
+heap order — is *checked*, not assumed: this module keeps the classic kernel
+alive as :class:`ReferenceEnvironment`, a drop-in environment whose queue is
+the textbook one-entry-per-item heap with a monotonically increasing sequence
+number as tie-break.
+
+``tests/test_kernel_equivalence.py`` runs the same seeded DTX workloads on
+both kernels with a :class:`TraceRecorder` attached and asserts the two
+dispatch traces are equal event by event (and that the final serialized
+states match). Any scheduler change that reorders same-tick items — however
+subtly — fails that test before it can corrupt a benchmark digest.
+
+The trace identifies each dispatched item *structurally* (callable qualnames,
+event class, callback owners, payload types), never by ``id()`` or memory
+address, so logically identical runs trace identically across kernels and
+interpreter invocations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from heapq import heappop, heappush
+from math import inf as _INF
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+from ..sim.environment import Environment
+from ..sim.events import Event
+
+__all__ = [
+    "ReferenceEnvironment",
+    "TraceRecorder",
+    "describe_item",
+    "trace_digest",
+]
+
+
+def describe_item(item: Any) -> str:
+    """A stable, address-free description of one queue item at dispatch time.
+
+    Works for both queue item shapes: flat ``(fn, arg)`` call tuples and
+    :class:`Event` objects (described with outcome and callback owners, so a
+    tick resuming process A never aliases a tick resuming process B).
+    """
+    if item.__class__ is tuple:
+        fn, arg = item
+        name = getattr(fn, "__qualname__", None) or repr(fn)
+        if name == "Network._deliver":
+            src, dst, _inbox, payload = arg
+            return f"call:{name}:{src!r}->{dst!r}:{payload.__class__.__name__}"
+        return f"call:{name}"
+    value = item._value
+    if item._ok:
+        outcome = f"ok:{value.__class__.__name__}"
+    else:
+        outcome = f"fail:{value.__class__.__name__}"
+    owners = []
+    for cb in item.callbacks or ():
+        owner = getattr(cb, "__self__", None)
+        if owner is None:
+            owners.append(getattr(cb, "__qualname__", None) or repr(cb))
+            continue
+        desc = owner.__class__.__name__
+        generator = getattr(owner, "_generator", None)
+        if generator is not None:
+            desc += ":" + getattr(generator, "__name__", "?")
+        owners.append(desc)
+    return f"{item.__class__.__name__}:{outcome}:[{','.join(owners)}]"
+
+
+def trace_digest(entries: list[tuple[float, str]]) -> str:
+    """SHA-256 over a dispatch trace (times + structural descriptions)."""
+    h = hashlib.sha256()
+    for t, desc in entries:
+        h.update(f"{t!r} {desc}\n".encode())
+    return h.hexdigest()
+
+
+class TraceRecorder:
+    """Records every dispatched queue item of an environment.
+
+    Attaching a recorder flips the environment into its step-wise driver
+    (same dispatch order as the fast drain loops, one item per step), and
+    the tracer hook fires *before* the item's callbacks run — so the trace
+    sees each item with its callback list still intact.
+    """
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[float, str]] = []
+
+    def attach(self, env: Environment) -> "TraceRecorder":
+        env._tracer = self._record
+        return self
+
+    def _record(self, t: float, item: Any) -> None:
+        self.entries.append((t, describe_item(item)))
+
+    def digest(self) -> str:
+        return trace_digest(self.entries)
+
+
+class ReferenceEnvironment(Environment):
+    """The classic scheduling kernel: one heap entry per item, seq tie-break.
+
+    Accepts the full environment interface (events, processes, flat timers,
+    flat call scheduling, tracing), so a :class:`~repro.core.cluster.DTXCluster`
+    built on it runs the unmodified production upper layers. Intentionally
+    simple and obviously correct — it is the oracle, not the hot path.
+    """
+
+    #: Route flat-timer ticks through ``_schedule`` below — the production
+    #: inline path writes into the bucket structures this kernel replaces.
+    _FLAT_INLINE = False
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self, initial_time: float = 0.0):
+        super().__init__(initial_time)
+        self._heap: list[tuple[float, int, Any]] = []
+        self._seq = 0
+
+    # -- scheduling (classic form) ---------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        self._seq += 1
+        heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def _schedule_flat(self, delay: float, fn: Callable[[Any], None], arg: Any) -> None:
+        self._seq += 1
+        heappush(self._heap, (self._now + delay, self._seq, (fn, arg)))
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> None:
+        if not self._heap:
+            raise SimulationError("step on an empty event queue")
+        t, _seq, item = heappop(self._heap)
+        self._now = t
+        if self._tracer is not None:
+            self._tracer(t, item)
+        if item.__class__ is tuple:
+            item[0](item[1])
+            return
+        callbacks = item.callbacks
+        item.callbacks = None
+        for callback in callbacks:
+            callback(item)
+        if not item._ok and not item._defused:
+            raise item._value
+
+    def peek(self) -> float:
+        heap = self._heap
+        return heap[0][0] if heap else _INF
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        heap = self._heap
+        if until is None:
+            while heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            while until.callbacks is not None:
+                if not heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited event fired"
+                    )
+                self.step()
+            if until._ok:
+                return until._value
+            until.defuse()
+            raise until._value
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(f"cannot run until {horizon} < now {self._now}")
+        while heap and heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -271,9 +271,12 @@ class Document:
 
 def _clone_subtree(node: Element) -> Element:
     new = Element(node.tag, dict(node.attrib), node.text)
-    for child in node.children:
-        new._children.append(_clone_subtree(child))
-        new._children[-1].parent = new
+    # Iterate the private list: ``children`` allocates a defensive tuple per
+    # node, which adds up when cloning replicas on every host_document call.
+    for child in node._children:
+        copy = _clone_subtree(child)
+        copy.parent = new
+        new._children.append(copy)
     return new
 
 

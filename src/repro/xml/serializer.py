@@ -13,6 +13,42 @@ def _escape_attr(s: str) -> str:
     return _escape_text(s).replace('"', "&quot;")
 
 
+def _serialize_compact(root: Element) -> str:
+    """Compact serialization with an explicit stack.
+
+    This is the state-digest hot path (every probe digests serialized
+    documents), so it avoids both recursion and the per-node tuple copy the
+    public ``children`` property makes. Items on the stack are either
+    elements still to open or close-tag strings already rendered.
+    """
+    out: list[str] = []
+    append = out.append
+    stack: list = [root]
+    pop = stack.pop
+    while stack:
+        node = pop()
+        if node.__class__ is str:
+            append(node)
+            continue
+        attrib = node.attrib
+        if attrib:
+            attrs = "".join(f' {k}="{_escape_attr(v)}"' for k, v in attrib.items())
+        else:
+            attrs = ""
+        children = node._children
+        text = node.text
+        if not children and text is None:
+            append(f"<{node.tag}{attrs}/>")
+            continue
+        append(f"<{node.tag}{attrs}>")
+        if text is not None:
+            append(_escape_text(text))
+        stack.append(f"</{node.tag}>")
+        for i in range(len(children) - 1, -1, -1):
+            stack.append(children[i])
+    return "".join(out)
+
+
 def serialize_element(elem: Element, indent: int | None = None, _depth: int = 0) -> str:
     """Serialize one element (and subtree).
 
@@ -21,7 +57,9 @@ def serialize_element(elem: Element, indent: int | None = None, _depth: int = 0)
     only reflows structure (never text content), so compact and pretty forms
     parse back to identical trees.
     """
-    pad = "" if indent is None else " " * (indent * _depth)
+    if indent is None:
+        return _serialize_compact(elem)
+    pad = " " * (indent * _depth)
     attrs = "".join(f' {k}="{_escape_attr(v)}"' for k, v in elem.attrib.items())
     open_tag = f"{pad}<{elem.tag}{attrs}"
     if not elem.children and elem.text is None:
@@ -30,13 +68,9 @@ def serialize_element(elem: Element, indent: int | None = None, _depth: int = 0)
     if elem.text is not None:
         parts.append(_escape_text(elem.text))
     if elem.children:
-        if indent is None:
-            parts.extend(serialize_element(c, None) for c in elem.children)
-            parts.append(f"</{elem.tag}>")
-        else:
-            child_parts = [serialize_element(c, indent, _depth + 1) for c in elem.children]
-            parts.append("\n" + "\n".join(child_parts) + "\n" + pad)
-            parts.append(f"</{elem.tag}>")
+        child_parts = [serialize_element(c, indent, _depth + 1) for c in elem.children]
+        parts.append("\n" + "\n".join(child_parts) + "\n" + pad)
+        parts.append(f"</{elem.tag}>")
     else:
         parts.append(f"</{elem.tag}>")
     return "".join(parts)

@@ -1,0 +1,168 @@
+"""Message-pool lifecycle: recycling, poisoning, stats, digest transparency.
+
+The pool (:class:`repro.core.messages.MessagePool`) is a pure wall-clock
+optimisation — these tests pin down the two properties that make it safe:
+
+* a recycled message never aliases a live one (identity discipline, checked
+  directly and via the debug poison-on-release mode on a full cluster run);
+* pooling on vs off changes *nothing* observable: same commit counts, same
+  serialized replica states.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DTXCluster, Operation, SystemConfig, Transaction
+from repro.core.messages import MessagePool, RemoteOpRequest, RemoteOpResult
+from repro.update import ChangeOp
+from repro.xml import E, doc, serialize_document
+
+
+def _request(pool: MessagePool, tid="t1", attempt=0) -> RemoteOpRequest:
+    return pool.acquire(
+        RemoteOpRequest,
+        tid=tid,
+        coordinator="s1",
+        op=Operation.query("d1", "/r"),
+        attempt=attempt,
+    )
+
+
+class TestPoolUnit:
+    def test_acquire_miss_then_hit_recycles_same_object(self):
+        pool = MessagePool()
+        a = _request(pool)
+        assert (pool.hits, pool.misses) == (0, 1)
+        pool.release(a)
+        b = _request(pool, tid="t2", attempt=3)
+        assert b is a  # recycled, not reallocated
+        assert (b.tid, b.attempt) == ("t2", 3)  # fully reinitialised
+        assert (pool.hits, pool.misses) == (1, 1)
+
+    def test_recycled_message_never_aliases_a_live_one(self):
+        pool = MessagePool()
+        live = _request(pool, tid="live")
+        other = _request(pool, tid="other")
+        assert live is not other
+        pool.release(other)
+        recycled = _request(pool, tid="recycled")
+        assert recycled is other and recycled is not live
+        assert live.tid == "live"  # untouched by the recycle
+        # With nothing free, acquire allocates rather than stealing `live`.
+        fresh = _request(pool, tid="fresh")
+        assert fresh is not live and fresh is not recycled
+
+    def test_classes_pool_separately(self):
+        pool = MessagePool()
+        req = _request(pool)
+        pool.release(req)
+        res = pool.acquire(
+            RemoteOpResult, tid="t", site="s1", op_index=0, attempt=0,
+            acquired=True, executed=True, deadlock=False, failed=False,
+        )
+        assert res is not req
+        assert pool.free_count(RemoteOpRequest) == 1
+        assert pool.free_count(RemoteOpResult) == 0
+
+    def test_max_free_caps_the_freelist(self):
+        pool = MessagePool(max_free=2)
+        msgs = [_request(pool, tid=f"t{i}") for i in range(4)]
+        for m in msgs:
+            pool.release(m)
+        assert pool.free_count(RemoteOpRequest) == 2
+
+    def test_debug_poisons_on_release(self):
+        pool = MessagePool(debug=True)
+        req = _request(pool, tid="t1")
+        pool.release(req)
+        # Every slot is poisoned: nothing of the old payload is readable.
+        assert req.tid is not None and req.tid != "t1"
+        assert req.op.__class__ is not Operation
+        # Reacquiring reinitialises through __init__, clearing the poison.
+        again = _request(pool, tid="t9")
+        assert again is req and again.tid == "t9"
+
+    def test_debug_double_release_raises(self):
+        pool = MessagePool(debug=True)
+        req = _request(pool)
+        pool.release(req)
+        with pytest.raises(RuntimeError, match="double release"):
+            pool.release(req)
+
+    def test_non_debug_release_keeps_payload(self):
+        pool = MessagePool()
+        req = _request(pool, tid="t1")
+        pool.release(req)
+        assert req.tid == "t1"  # release without debug does not scrub
+
+
+# ---------------------------------------------------------------------------
+# cluster integration: stats surface + schedule/state transparency
+# ---------------------------------------------------------------------------
+
+
+def _contended_cluster(message_pool: bool, debug: bool = False) -> DTXCluster:
+    cfg = SystemConfig().with_(client_think_ms=0.0, message_pool=message_pool)
+    cluster = DTXCluster(protocol="xdgl", config=cfg)
+    if debug:
+        cluster.message_pool.debug = True  # shared by every site added below
+    hot = doc("hot", E("hot", *[E(f"v{i}", text="0") for i in range(3)]))
+    cluster.add_site("s1", [hot])
+    cluster.add_site("s2", [hot])
+    cluster.add_site("s3", [])
+    n = 0
+    for g in range(3):
+        for c in range(2):
+            txs = [
+                Transaction(
+                    [Operation.update("hot", ChangeOp(f"/hot/v{g}", "x")) for _ in range(2)],
+                    label=f"g{g}c{c}t{t}",
+                )
+                for t in range(2)
+            ]
+            cluster.add_client(f"c{n}", "s3", txs)
+            n += 1
+    return cluster
+
+
+def _state(cluster: DTXCluster) -> tuple:
+    return tuple(serialize_document(cluster.document_at(s, "hot")) for s in ("s1", "s2"))
+
+
+class TestPoolInCluster:
+    def test_pool_hit_stats_surface_in_site_stats(self):
+        cluster = _contended_cluster(message_pool=True)
+        result = cluster.run()
+        assert len(result.committed) == 12
+        # Shared pool => per-site counters are snapshots; max is the total.
+        hits = max(s.pool_hits for s in result.site_stats.values())
+        misses = max(s.pool_misses for s in result.site_stats.values())
+        assert misses > 0  # first acquires allocate
+        assert hits > 0  # steady state recycles
+        assert hits == cluster.message_pool.hits
+        assert hits + misses == cluster.message_pool.hits + cluster.message_pool.misses
+
+    def test_pool_off_reports_no_pool_activity(self):
+        cluster = _contended_cluster(message_pool=False)
+        result = cluster.run()
+        assert cluster.message_pool is None
+        assert all(s.pool_hits == 0 and s.pool_misses == 0 for s in result.site_stats.values())
+
+    def test_pool_on_off_identical_outcomes_and_digests(self):
+        on = _contended_cluster(message_pool=True)
+        off = _contended_cluster(message_pool=False)
+        r_on, r_off = on.run(), off.run()
+        assert len(r_on.committed) == len(r_off.committed)
+        assert len(r_on.aborted) == len(r_off.aborted)
+        assert r_on.duration_ms == r_off.duration_ms  # same schedule, not just same state
+        assert _state(on) == _state(off)
+
+    def test_full_run_under_debug_pool_is_clean(self):
+        """Poison-on-release on a whole contended run: any use-after-release
+        or double release in the site hot paths fails loudly here."""
+        debug = _contended_cluster(message_pool=True, debug=True)
+        plain = _contended_cluster(message_pool=True)
+        r_debug, r_plain = debug.run(), plain.run()
+        assert len(r_debug.committed) == len(r_plain.committed) == 12
+        assert _state(debug) == _state(plain)
