@@ -11,14 +11,24 @@ Usage::
     python -m repro availability            # eager vs lazy under crashes
     python -m repro partitions              # lease-timeout sweep under a network split
     python -m repro quorum                  # (R, W) grid vs eager/lazy under faults
+    python -m repro scale                   # hash-ring elasticity: join + decommission
     python -m repro bench                   # trajectory harness -> BENCH_<n>.json
     python -m repro bench --check           # wall-clock regression gate (CI)
+
+The sweep subcommands (replication, availability, partitions, quorum,
+scale) share one flag surface: ``--full`` (denser grid), ``--sites`` /
+``--clients`` (workload size), ``--seed`` (override the SystemConfig
+seed) and ``--json`` (machine-readable cells instead of tables), plus
+per-sweep extras.  ``scale`` sweeps a *grid* of sites x clients, so its
+``--sites``/``--clients`` accept several values; the scalar sweeps take
+exactly one.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 from . import available_protocols
 from .experiments import (
@@ -107,120 +117,185 @@ def _run_scenario(out=sys.stdout) -> int:
     return 0
 
 
-def _run_replication(full: bool, read_policy: str, out=sys.stdout) -> int:
+# --------------------------------------------------------------------------
+# Shared sweep plumbing: one flag surface, one override path, one emitter.
+
+def _sweep_flags() -> argparse.ArgumentParser:
+    """The parent parser every sweep subcommand inherits from."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--full", action="store_true", help="denser sweep")
+    common.add_argument(
+        "--sites", nargs="+", type=int, default=None, metavar="N",
+        help="number of sites (scale: several values form the grid axis)",
+    )
+    common.add_argument(
+        "--clients", nargs="+", type=int, default=None, metavar="N",
+        help="number of clients (scale: several values form the grid axis)",
+    )
+    common.add_argument(
+        "--seed", type=int, default=None,
+        help="override the simulation seed (default: SystemConfig's)",
+    )
+    common.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit params, cells and check notes as JSON instead of tables",
+    )
+    return common
+
+
+def _fold_common(params, args, grid: bool, out):
+    """Apply the shared flags to a sweep's Params; returns (params, error_rc)."""
+    overrides: dict = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    for flag, value in (("sites", args.sites), ("clients", args.clients)):
+        if value is None:
+            continue
+        if grid:
+            overrides[f"{flag}_grid"] = tuple(value)
+        elif len(value) == 1:
+            overrides[f"n_{flag}"] = value[0]
+        else:
+            print(
+                f"error: --{flag} takes one value here (only the scale "
+                f"sweep grids over it), got {value}",
+                file=out,
+            )
+            return params, 2
+    return (replace(params, **overrides) if overrides else params), None
+
+
+def _emit_sweep(name, result, check, renders, as_json: bool, out) -> int:
+    """Print a sweep result: rendered tables + notes, or one JSON document."""
+    if as_json:
+        import json
+        from dataclasses import asdict
+
+        payload = {
+            "sweep": name,
+            "params": asdict(result.params),
+            "cells": [
+                {"cell": list(key) if isinstance(key, tuple) else [key], **metrics}
+                for key, metrics in result.cells.items()
+            ],
+        }
+        failed = None
+        try:
+            payload["check_notes"] = list(check(result))
+        except AssertionError as exc:
+            failed = str(exc)
+            payload["check_notes"] = []
+        payload["ok"] = failed is None
+        if failed is not None:
+            payload["check_error"] = failed
+        print(json.dumps(payload, indent=2, default=str), file=out)
+        return 0 if failed is None else 1
+    print(f"== {name} ==", file=out)
+    for metric, fmt in renders:
+        print(result.render(metric, fmt), file=out)
+        print(file=out)
+    try:
+        for note in check(result):
+            print(f"  {note}", file=out)
+    except AssertionError as exc:
+        print(f"  SHAPE CHECK FAILED: {exc}", file=out)
+        return 1
+    return 0
+
+
+def _run_replication(args, out=sys.stdout) -> int:
     from .experiments.replication import (
         ReplicationSweepParams,
         check_replication_sweep,
         replication_sweep,
     )
 
-    params = ReplicationSweepParams.dense() if full else ReplicationSweepParams.from_env()
-    if read_policy != params.read_policy:
-        from dataclasses import replace
-
-        params = replace(params, read_policy=read_policy)
-    result = replication_sweep(params)
-    print("== replication ==", file=out)
-    for metric, fmt in (("tx_per_s", "{:8.2f}"), ("response_ms", "{:8.2f}"),
-                        ("messages", "{:8.0f}")):
-        print(result.render(metric, fmt), file=out)
-        print(file=out)
-    try:
-        for note in check_replication_sweep(result):
-            print(f"  {note}", file=out)
-    except AssertionError as exc:
-        print(f"  SHAPE CHECK FAILED: {exc}", file=out)
-        return 1
-    return 0
+    params = ReplicationSweepParams.dense() if args.full else ReplicationSweepParams.from_env()
+    params, rc = _fold_common(params, args, grid=False, out=out)
+    if rc is not None:
+        return rc
+    if args.read_policy != params.read_policy:
+        params = replace(params, read_policy=args.read_policy)
+    return _emit_sweep(
+        "replication", replication_sweep(params), check_replication_sweep,
+        (("tx_per_s", "{:8.2f}"), ("response_ms", "{:8.2f}"), ("messages", "{:8.0f}")),
+        args.as_json, out,
+    )
 
 
-def _run_availability(full: bool, crashes: list[int] | None, out=sys.stdout) -> int:
+def _run_availability(args, out=sys.stdout) -> int:
     from .experiments.availability import (
         AvailabilitySweepParams,
         availability_sweep,
         check_availability_sweep,
     )
 
-    params = AvailabilitySweepParams.dense() if full else AvailabilitySweepParams.from_env()
-    if crashes is not None:
-        from dataclasses import replace
-
-        params = replace(params, crash_counts=tuple(crashes))
-    result = availability_sweep(params)
-    print("== availability ==", file=out)
-    for metric, fmt in (
-        ("tx_per_s", "{:9.2f}"),
-        ("committed", "{:9.0f}"),
-        ("aborted", "{:9.0f}"),
-        ("failed", "{:9.0f}"),
-        ("promotions", "{:9.0f}"),
-        ("divergent_replicas", "{:9.0f}"),
-    ):
-        print(result.render(metric, fmt), file=out)
-        print(file=out)
-    try:
-        for note in check_availability_sweep(result):
-            print(f"  {note}", file=out)
-    except AssertionError as exc:
-        print(f"  SHAPE CHECK FAILED: {exc}", file=out)
-        return 1
-    return 0
+    params = AvailabilitySweepParams.dense() if args.full else AvailabilitySweepParams.from_env()
+    params, rc = _fold_common(params, args, grid=False, out=out)
+    if rc is not None:
+        return rc
+    if args.crashes is not None:
+        params = replace(params, crash_counts=tuple(args.crashes))
+    return _emit_sweep(
+        "availability", availability_sweep(params), check_availability_sweep,
+        (
+            ("tx_per_s", "{:9.2f}"),
+            ("committed", "{:9.0f}"),
+            ("aborted", "{:9.0f}"),
+            ("failed", "{:9.0f}"),
+            ("promotions", "{:9.0f}"),
+            ("divergent_replicas", "{:9.0f}"),
+        ),
+        args.as_json, out,
+    )
 
 
-def _run_partitions(full: bool, lease_timeouts: list[float] | None, out=sys.stdout) -> int:
+def _run_partitions(args, out=sys.stdout) -> int:
     from .experiments.partitions import (
         PartitionSweepParams,
         check_partition_sweep,
         partition_sweep,
     )
 
-    params = PartitionSweepParams.dense() if full else PartitionSweepParams.from_env()
-    if lease_timeouts is not None:
-        from dataclasses import replace
-
-        params = replace(params, lease_timeouts=tuple(lease_timeouts))
-    result = partition_sweep(params)
-    print("== partitions ==", file=out)
-    for metric, fmt in (
-        ("committed", "{:9.0f}"),
-        ("aborted", "{:9.0f}"),
-        ("failed", "{:9.0f}"),
-        ("suspicions", "{:9.0f}"),
-        ("false_suspicions", "{:9.0f}"),
-        ("elections_won", "{:9.0f}"),
-        ("lease_refusals", "{:9.0f}"),
-        ("divergent_replicas", "{:9.0f}"),
-    ):
-        print(result.render(metric, fmt), file=out)
-        print(file=out)
-    try:
-        for note in check_partition_sweep(result):
-            print(f"  {note}", file=out)
-    except AssertionError as exc:
-        print(f"  SHAPE CHECK FAILED: {exc}", file=out)
-        return 1
-    return 0
+    params = PartitionSweepParams.dense() if args.full else PartitionSweepParams.from_env()
+    params, rc = _fold_common(params, args, grid=False, out=out)
+    if rc is not None:
+        return rc
+    if args.lease_timeouts is not None:
+        params = replace(params, lease_timeouts=tuple(args.lease_timeouts))
+    return _emit_sweep(
+        "partitions", partition_sweep(params), check_partition_sweep,
+        (
+            ("committed", "{:9.0f}"),
+            ("aborted", "{:9.0f}"),
+            ("failed", "{:9.0f}"),
+            ("suspicions", "{:9.0f}"),
+            ("false_suspicions", "{:9.0f}"),
+            ("elections_won", "{:9.0f}"),
+            ("lease_refusals", "{:9.0f}"),
+            ("divergent_replicas", "{:9.0f}"),
+        ),
+        args.as_json, out,
+    )
 
 
-def _run_quorum(
-    full: bool,
-    faults: list[str] | None,
-    rw: list[str] | None,
-    out=sys.stdout,
-) -> int:
+def _run_quorum(args, out=sys.stdout) -> int:
     from .experiments.quorum import (
         QuorumSweepParams,
         check_quorum_sweep,
         quorum_sweep,
     )
 
-    params = QuorumSweepParams.dense() if full else QuorumSweepParams.from_env()
+    params = QuorumSweepParams.dense() if args.full else QuorumSweepParams.from_env()
+    params, rc = _fold_common(params, args, grid=False, out=out)
+    if rc is not None:
+        return rc
     overrides = {}
-    if faults is not None:
-        overrides["faults"] = tuple(faults)
-    if rw is not None:
+    if args.faults is not None:
+        overrides["faults"] = tuple(args.faults)
+    if args.rw is not None:
         grid = []
-        for cell in rw:
+        for cell in args.rw:
             try:
                 r, w = cell.split(":")
                 grid.append((int(r), int(w)))
@@ -233,28 +308,52 @@ def _run_quorum(
                 return 2
         overrides["rw_grid"] = tuple(grid)
     if overrides:
-        from dataclasses import replace
-
         params = replace(params, **overrides)
-    result = quorum_sweep(params)
-    print("== quorum ==", file=out)
-    for metric, fmt in (
-        ("committed", "{:10.0f}"),
-        ("update_response_ms", "{:10.2f}"),
-        ("window_update_committed", "{:10.0f}"),
-        ("sync_acks_per_commit", "{:10.2f}"),
-        ("read_repair_rate", "{:10.2f}"),
-        ("divergent_replicas", "{:10.0f}"),
-    ):
-        print(result.render(metric, fmt), file=out)
-        print(file=out)
-    try:
-        for note in check_quorum_sweep(result):
-            print(f"  {note}", file=out)
-    except AssertionError as exc:
-        print(f"  SHAPE CHECK FAILED: {exc}", file=out)
-        return 1
-    return 0
+    return _emit_sweep(
+        "quorum", quorum_sweep(params), check_quorum_sweep,
+        (
+            ("committed", "{:10.0f}"),
+            ("update_response_ms", "{:10.2f}"),
+            ("window_update_committed", "{:10.0f}"),
+            ("sync_acks_per_commit", "{:10.2f}"),
+            ("read_repair_rate", "{:10.2f}"),
+            ("divergent_replicas", "{:10.0f}"),
+        ),
+        args.as_json, out,
+    )
+
+
+def _run_scale(args, out=sys.stdout) -> int:
+    from .experiments.scale import (
+        ScaleSweepParams,
+        check_scale_sweep,
+        scale_sweep,
+    )
+
+    params = ScaleSweepParams.dense() if args.full else ScaleSweepParams.from_env()
+    params, rc = _fold_common(params, args, grid=True, out=out)
+    if rc is not None:
+        return rc
+    overrides = {}
+    if args.join_at is not None:
+        overrides["join_at_ms"] = args.join_at
+    if args.leave_at is not None:
+        overrides["leave_at_ms"] = args.leave_at
+    if overrides:
+        params = replace(params, **overrides)
+    return _emit_sweep(
+        "scale", scale_sweep(params), check_scale_sweep,
+        (
+            ("committed", "{:10.0f}"),
+            ("response_ms", "{:10.2f}"),
+            ("moved_join", "{:10.0f}"),
+            ("moved_leave", "{:10.0f}"),
+            ("migrations_completed", "{:10.0f}"),
+            ("spare_docs", "{:10.0f}"),
+            ("divergent_replicas", "{:10.0f}"),
+        ),
+        args.as_json, out,
+    )
 
 
 def main(argv: list[str] | None = None, out=sys.stdout) -> int:
@@ -274,44 +373,43 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     sub.add_parser("scenario", help="run the paper's §2.4 worked scenario")
     sub.add_parser("protocols", help="list registered concurrency protocols")
 
+    common = _sweep_flags()
+
     p_rep = sub.add_parser(
-        "replication", help="sweep replication factor vs update ratio (ROWA)"
+        "replication", parents=[common],
+        help="sweep replication factor vs update ratio (ROWA)",
     )
-    p_rep.add_argument("--full", action="store_true", help="denser sweep")
     p_rep.add_argument(
         "--read-policy", choices=("primary", "random", "nearest"),
         default="nearest", help="replica chosen for each read",
     )
 
     p_avail = sub.add_parser(
-        "availability",
+        "availability", parents=[common],
         help="eager vs lazy replication under site crashes: throughput, "
         "abort rate, failover and catch-up activity",
     )
-    p_avail.add_argument("--full", action="store_true", help="denser sweep")
     p_avail.add_argument(
         "--crashes", nargs="+", type=int, default=None, metavar="N",
         help="crash counts to sweep (default: 0 1 2)",
     )
 
     p_part = sub.add_parser(
-        "partitions",
+        "partitions", parents=[common],
         help="lease-based membership under a network split: availability "
         "and consistency across lease timeouts",
     )
-    p_part.add_argument("--full", action="store_true", help="denser sweep")
     p_part.add_argument(
         "--lease-timeouts", nargs="+", type=float, default=None, metavar="MS",
         help="lease timeouts (ms) to sweep (default: 2 4 8 16)",
     )
 
     p_quorum = sub.add_parser(
-        "quorum",
+        "quorum", parents=[common],
         help="quorum (R, W) grid vs eager/lazy baselines under partition "
         "and crash schedules: latency, in-window commits, read repair, "
         "divergence",
     )
-    p_quorum.add_argument("--full", action="store_true", help="denser sweep")
     p_quorum.add_argument(
         "--faults", nargs="+", choices=("none", "partition", "crash"),
         default=None, help="fault schedules to run (default: partition crash)",
@@ -319,6 +417,21 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     p_quorum.add_argument(
         "--rw", nargs="+", default=None, metavar="R:W",
         help="quorum cells as R:W pairs (default: 1:3 2:2 3:2)",
+    )
+
+    p_scale = sub.add_parser(
+        "scale", parents=[common],
+        help="hash-ring elasticity: a site joins and another is "
+        "decommissioned mid-workload; documents migrate online "
+        "(ring-minimal moves, zero divergence)",
+    )
+    p_scale.add_argument(
+        "--join-at", type=float, default=None, metavar="MS",
+        help="when the spare site joins the ring (default: 8)",
+    )
+    p_scale.add_argument(
+        "--leave-at", type=float, default=None, metavar="MS",
+        help="when the decommissioned site leaves (default: 60)",
     )
 
     # The bench harness owns its own argparse surface (it is also runnable
@@ -346,14 +459,21 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         for name in available_protocols():
             print(name, file=out)
         return 0
-    if args.command == "replication":
-        return _run_replication(args.full, args.read_policy, out)
-    if args.command == "availability":
-        return _run_availability(args.full, args.crashes, out)
-    if args.command == "partitions":
-        return _run_partitions(args.full, args.lease_timeouts, out)
-    if args.command == "quorum":
-        return _run_quorum(args.full, args.faults, args.rw, out)
+    sweeps = {
+        "replication": _run_replication,
+        "availability": _run_availability,
+        "partitions": _run_partitions,
+        "quorum": _run_quorum,
+        "scale": _run_scale,
+    }
+    if args.command in sweeps:
+        from .errors import ConfigError
+
+        try:
+            return sweeps[args.command](args, out)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
     return 2  # pragma: no cover
 
 

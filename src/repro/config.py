@@ -280,5 +280,64 @@ class SystemConfig:
         cfg.validate()
         return cfg
 
+    @classmethod
+    def preset(cls, name: str, **overrides) -> "SystemConfig":
+        """A validated named configuration — the safe front door to the
+        ~20-knob constructor.
+
+        ``"paper"``
+            The paper's regime: every operation executes at every replica
+            (read/write policy ``"all"``), perfect failure detector.
+            Identical to ``SystemConfig()``.
+        ``"eager"``
+            Primary-copy ROWA at replication factor 3: updates lock and
+            execute at the primary and propagate synchronously before its
+            locks release; reads at the nearest copy.
+        ``"quorum"``
+            Versioned quorum reads/writes (majority R and W, factor 3)
+            under the lease detector — the regime of PR 5's evaluation:
+            commit settles at W durable copies, reads probe R versions.
+        ``"lazy"``
+            Bounded-staleness primary copy at factor 3: commits return
+            immediately, propagation is asynchronous.
+
+        Keyword overrides are applied on top (and re-validated), so
+        ``SystemConfig.preset("quorum", seed=7)`` works as expected.
+        """
+        try:
+            base = dict(_PRESETS[name])
+        except KeyError:
+            raise ConfigError(
+                f"unknown preset {name!r}; choose from {sorted(_PRESETS)}"
+            ) from None
+        base.update(overrides)
+        cfg = cls(**base)
+        cfg.validate()
+        return cfg
+
+
+_PRESETS: dict[str, dict] = {
+    "paper": {},
+    "eager": {
+        "replication_factor": 3,
+        "replica_write_policy": "primary",
+        "replica_read_policy": "nearest",
+    },
+    "quorum": {
+        "replication_factor": 3,
+        "replica_write_policy": "quorum",
+        "replica_read_policy": "quorum",
+        "failure_detector": "lease",
+        "heartbeat_interval_ms": 1.0,
+        "lease_timeout_ms": 4.0,
+        "election_timeout_ms": 4.0,
+    },
+    "lazy": {
+        "replication_factor": 3,
+        "replica_write_policy": "lazy",
+        "replica_read_policy": "nearest",
+    },
+}
+
 
 DEFAULT_CONFIG = SystemConfig()

@@ -64,6 +64,7 @@ class DTXCluster:
             detector=self.config.failure_detector,
         )
         self._backend_factory = backend_factory or InMemoryStore
+        self._migration = None  # built lazily; absent from default schedules
         self._started = False
         # One message pool per cluster run: RemoteOpRequests migrate
         # coordinator -> participant and the results migrate back, so the
@@ -212,6 +213,40 @@ class DTXCluster:
             result.detector_sweeps = self.detector.stats.sweeps
             result.distributed_deadlocks = self.detector.stats.deadlocks_found
         return result
+
+    # -- online migration --------------------------------------------------
+
+    @property
+    def migration(self):
+        """The cluster's :class:`MigrationManager`, built on first use.
+
+        Lazy on purpose: constructing the manager requires a primary-copy
+        write regime, and a cluster that never migrates must not carry the
+        manager at all — default-config schedules stay bit-identical.
+        """
+        if self._migration is None:
+            from ..distribution.migration import MigrationManager
+
+            self._migration = MigrationManager(self)
+        return self._migration
+
+    def migrate_document(self, doc_name: str, targets: Sequence[Hashable], label: str = ""):
+        """Start moving ``doc_name``'s replica set to ``targets`` (first =
+        new primary) while traffic keeps flowing. Returns the
+        :class:`Migration` record; its ``done`` event fires on completion."""
+        return self.migration.migrate(doc_name, targets, label=label)
+
+    def schedule_migration(
+        self, doc_name: str, targets: Sequence[Hashable], at_ms: float, label: str = ""
+    ) -> None:
+        """Kick off a migration at simulated time ``at_ms`` (like
+        ``schedule_crash``, driven through the kernel)."""
+        if at_ms < self.env.now:
+            raise ConfigError(f"cannot schedule a migration in the past ({at_ms})")
+        self.migration  # fail fast now if the regime cannot migrate
+        self.env.schedule_call(
+            at_ms - self.env.now, self.migration.migrate, doc_name, tuple(targets), label
+        )
 
     # -- fault injection ---------------------------------------------------
 

@@ -130,6 +130,12 @@ class _ProbeState:
     event: object = None
 
 
+#: Root element of the placeholder a joining replica hosts until its first
+#: snapshot transfer arrives (never queried: quorum probes rank the empty
+#: log last, and primary-copy routing never prefers a brand-new secondary).
+MIGRATION_PLACEHOLDER = "migration-placeholder"
+
+
 @dataclass
 class LocalResult:
     """Outcome of executing one operation against this site's lock manager."""
@@ -190,6 +196,9 @@ class SiteStats:
     sync_acks_awaited: int = 0  # ok remote acks counted at quorum-commit time
     quorum_read_retries: int = 0  # probe rounds re-run (silent/short reports)
     stale_reads_refused: int = 0  # follower reads bounced by the staleness fence
+    # Online migration (distribution.migration.MigrationManager).
+    migrations_admitted: int = 0  # placeholder replicas adopted (join phase)
+    migrations_retired: int = 0  # replica copies dropped (retire phase)
     # Message pooling (config.message_pool). The pool is shared by all sites
     # of a run, so these are *snapshots* of the cluster pool's cumulative
     # counters as of this site's last pool interaction — read the max across
@@ -329,6 +338,105 @@ class DTXSite:
     def documents_hosted(self) -> list[str]:
         return self.data_manager.live_documents()
 
+    # ------------------------------------------------------------------
+    # migration hooks (driven by distribution.migration.MigrationManager)
+    # ------------------------------------------------------------------
+
+    def adopt_placeholder(self, doc_name: str) -> None:
+        """Host an empty stand-in for a document migrating to this site.
+
+        The placeholder makes the site a (far-behind) replica: its log is
+        empty, so the first catch-up round pulls a full snapshot from the
+        primary, and commit-time sync batches land here from the moment
+        the placement includes this site (the dual-write window).
+        """
+        if self.data_manager.is_loaded(doc_name):
+            return
+        self.host_document(parse_document(f"<{MIGRATION_PLACEHOLDER}/>", name=doc_name))
+        self.stats.migrations_admitted += 1
+
+    def holds_placeholder(self, doc_name: str) -> bool:
+        """Whether this site's copy is still the migration stand-in.
+
+        Detected structurally (by the root element) rather than tracked,
+        so the answer survives a crash+recovery of the joining site: the
+        reloaded placeholder still *is* a placeholder, and every catch-up
+        keeps escalating to a snapshot until real state lands.
+        """
+        if not self.data_manager.is_loaded(doc_name):
+            return False
+        root = self.data_manager.document(doc_name).root
+        return root is not None and root.tag == MIGRATION_PLACEHOLDER
+
+    def drop_document(self, doc_name: str) -> None:
+        """Remove this site's copy of ``doc_name`` (migration retire).
+
+        Live tree, persisted state, staged stable copy and update log all
+        go; the protocol's structure summary keeps a stale registration
+        that no routed operation will ever touch (the placement no longer
+        names this site).
+        """
+        self.data_manager.evict(doc_name)
+        if self.data_manager.backend.exists(doc_name):
+            self.data_manager.backend.delete(doc_name)
+        self.logs.pop(doc_name, None)
+        self._stable.pop(doc_name, None)
+        self.stats.migrations_retired += 1
+
+    def has_active_work_on(self, doc_name: str) -> bool:
+        """Whether any in-flight transaction touched ``doc_name`` here.
+
+        Migration retire waits for quiescence before dropping the data:
+        an active participant context means locks are held (or a commit/
+        abort round is still due) against this copy, and a non-empty lazy
+        outbox holds committed batches not yet pushed to the secondaries
+        (dropping the copy would lose them — the new primary serves
+        catch-up from *its* log).
+        """
+        if self._lazy_outboxes.get(doc_name):
+            return True
+        for ctx in self.tx_contexts.values():
+            for entry in ctx.op_entries.values():
+                if entry.doc_name == doc_name:
+                    return True
+        return False
+
+    def request_primacy(self, doc_name: str, goal_lsn: int):
+        """Administrative promotion (migration cutover, lease mode only).
+
+        Spawns a process that assumes primacy for ``doc_name`` iff this
+        site is alive, still hosts the document, and its durable log is
+        contiguous and caught up to ``goal_lsn`` — the manager's fencing
+        precondition, re-checked here at execution time because batches
+        may land between the manager's poll and this process running.
+        Returns an event firing ``True`` on promotion (or if this site
+        already leads), ``False`` when the caller should retry later.
+        """
+        done = self.env.event()
+
+        def _run():
+            yield (self.costs.scheduler_dispatch_ms)
+            if (
+                not self.alive
+                or not self.data_manager.is_loaded(doc_name)
+                or self.holds_placeholder(doc_name)
+            ):
+                done.succeed(False)
+                return
+            rset = self.catalog.replica_set(doc_name)
+            if rset.primary == self.site_id:
+                done.succeed(True)  # already elected (e.g. by failover)
+                return
+            log = self.log_for(doc_name)
+            if log.applied_lsn != log.max_recorded_lsn or log.applied_lsn < goal_lsn:
+                done.succeed(False)
+                return
+            self._assume_primacy(doc_name, deposed=rset.primary)
+            done.succeed(True)
+
+        self.env.process(_run())
+        return done
+
     def log_for(self, doc_name: str) -> UpdateLog:
         """The durable update log of ``doc_name`` at this site."""
         log = self.logs.get(doc_name)
@@ -442,7 +550,16 @@ class DTXSite:
     # ------------------------------------------------------------------
 
     def submit(self, tx: Transaction, deliver: Callable[[TxOutcome], None]) -> None:
-        """Accept a transaction from a locally connected client."""
+        """Accept a transaction from a locally connected client.
+
+        A transaction carrying per-transaction quorum overrides is
+        validated here, at the submission boundary, against the same
+        intersection laws as the cluster-wide knobs — an unlawful (R, W)
+        is a programming error and raises immediately rather than
+        surfacing as a runtime abort.
+        """
+        if tx.read_quorum_r or tx.write_quorum_w:
+            self.replication.validate_tx_quorums(tx.read_quorum_r, tx.write_quorum_w)
         tx.stats.submitted_ts = self.env.now
         if not self.alive:
             # Connection refused: the site is down. The outcome is
@@ -564,6 +681,12 @@ class DTXSite:
     # ------------------------------------------------------------------
 
     def _execute_operation(self, tid: TxId, coordinator: Hashable, op: Operation) -> LocalResult:
+        if not self.data_manager.is_loaded(op.doc_name):
+            # A migration retired this replica while the request was in
+            # flight (the coordinator routed against an older placement):
+            # refuse like any execution failure; the retry re-reads the
+            # catalog and routes to the document's current holders.
+            return LocalResult(acquired=True, executed=False, failed=True)
         if (
             op.kind is not OpKind.QUERY
             and self.membership is not None
@@ -1059,6 +1182,13 @@ class DTXSite:
             yield self._catchup_gates[doc_name]
         if not self.alive:
             return None
+        if not self.data_manager.is_loaded(doc_name):
+            # The copy was retired (migration drop) while this sync was in
+            # flight: the placement no longer names this site, so refuse
+            # rather than resurrect a dropped replica.
+            self.stats.syncs_refused += 1
+            yield (0)
+            return False, "not-hosted", 0
         if epoch < self.catalog.epoch(doc_name):
             self.stats.syncs_refused += 1
             yield (0)
@@ -1288,6 +1418,17 @@ class DTXSite:
             and (set(rec.acks) >= rec.ack_expected or self._ack_quorum_met(rec))
         ):
             rec.ack_event.succeed(dict(rec.acks))
+
+    def _quorum_spec(self, rec: CoordinatorRecord, degree: int):
+        """The (N, R, W) governing ``rec``'s transaction at ``degree``.
+
+        Per-transaction overrides (validated at submission) take
+        precedence over the cluster knobs; with none set this is exactly
+        ``replication.quorum_for(degree)``.
+        """
+        return self.replication.quorum_for(
+            degree, rec.tx.read_quorum_r, rec.tx.write_quorum_w
+        )
 
     def _ack_quorum_met(self, rec: CoordinatorRecord) -> bool:
         """Whether a quorum-write sync round can settle before every ack.
@@ -1634,7 +1775,7 @@ class DTXSite:
             if rec.abort_requested:
                 raise _AbortTx(rec.abort_reason or "abort-ordered")
             rset = self.catalog.replica_set(doc_name)
-            spec = self.replication.quorum_for(rset.degree)
+            spec = self._quorum_spec(rec, rset.degree)
             order = [s for s in rset.all_sites if s != self.site_id]
             if self.site_id in rset:
                 order.insert(0, self.site_id)
@@ -1810,7 +1951,10 @@ class DTXSite:
                 per_doc.setdefault(op.doc_name, []).append(op)
         if not per_doc:
             return True
-        if self.config.group_commit_window_ms > 0:
+        if self.config.group_commit_window_ms > 0 and not rec.tx.write_quorum_w:
+            # A transaction with its own write quorum cannot share the
+            # outbox (a batch settles on *one* W for all its members);
+            # it takes the sequenced per-transaction path below instead.
             # Group commit: stage each batch in the (primary, doc) outbox
             # and share the sync rounds with every transaction that
             # reaches commit within the window. Drain *every* waiter
@@ -1823,7 +1967,7 @@ class DTXSite:
                 if not rset.is_replicated:
                     continue  # single copy: commit/abort handle it alone
                 origin = rec.write_sites.get(doc_name, set())
-                if rset.primary not in origin or any(
+                if origin != {rset.primary} or any(
                     not self._peer_up(s) for s in origin
                 ):
                     rec.abort_reason = "participant-crashed"
@@ -1885,12 +2029,19 @@ class DTXSite:
             if not rset.is_replicated:
                 continue  # single copy: commit/abort handle it alone
             origin = rec.write_sites.get(doc_name, set())
-            if rset.primary not in origin or any(
+            if origin != {rset.primary} or any(
                 not self._peer_up(s) for s in origin
             ):
-                # Same rule as the eager path: the copy these updates
-                # executed at is no longer the live primary — the
-                # uncommitted effects died with it.
+                # The document's updates must all have executed at the
+                # *current* primary — and nowhere else. A crash mid-flight
+                # means the executing copy's uncommitted effects died with
+                # it; a primacy handoff mid-transaction (migration cutover,
+                # or a false suspicion deposing a live primary) splits the
+                # effects across two primaries' live trees, and committing
+                # such a batch would durably record operations the new
+                # primary's own copy never executed. Either way: unwind
+                # (the client restart re-executes wholly under the new
+                # primary).
                 rec.abort_reason = "participant-crashed"
                 return False
             # No fail-fast even when too few replicas look reachable to
@@ -2005,7 +2156,7 @@ class DTXSite:
         for doc_name, (lsn, epoch, ops) in staged.items():
             rset = self.catalog.replica_set(doc_name)
             if is_quorum:
-                spec = self.replication.quorum_for(rset.degree)
+                spec = self._quorum_spec(rec, rset.degree)
                 needed = spec.write_quorum - 1  # the primary's record counts
                 if needed > 0:
                     goal[doc_name] = needed
@@ -2048,7 +2199,7 @@ class DTXSite:
                 if (ack := acks.get((site, doc_name))) is not None and ack.ok
             )
             if is_quorum:
-                spec = self.replication.quorum_for(rset.degree)
+                spec = self._quorum_spec(rec, rset.degree)
                 self.stats.sync_acks_awaited += remote_ok
                 if 1 + remote_ok < spec.write_quorum:
                     rec.abort_reason = "sync-quorum-lost"
@@ -2124,7 +2275,7 @@ class DTXSite:
             origin = rec.write_sites.get(doc_name, set())
             if (
                 rset.primary != box.primary
-                or rset.primary not in origin
+                or origin != {rset.primary}
                 or any(not self._peer_up(s) for s in origin)
             ):
                 waiter.succeed(
@@ -3053,6 +3204,16 @@ class DTXSite:
         if gate is not None:
             yield gate  # another catch-up is in flight; ride on it
             return False
+        if not self.data_manager.is_loaded(doc_name):
+            # The copy was retired (migration drop) after this catch-up was
+            # queued — e.g. recovery iterating a document list captured
+            # before the retire. Nothing to reconcile here any more.
+            return False
+        # A migration placeholder has no base state for log replay to build
+        # on: *every* catch-up path (nudge, sync-gap heal, recovery) must
+        # pull the snapshot until real document state has been installed.
+        if self.holds_placeholder(doc_name):
+            force_snapshot = True
         rset = self.catalog.replica_set(doc_name)
         primary = rset.primary
         if primary == self.site_id or not self._peer_up(primary):
@@ -3084,6 +3245,8 @@ class DTXSite:
                 self._catchup_waiters.pop(req_id, None)
                 if not self.alive:
                     return False
+                if not self.data_manager.is_loaded(doc_name):
+                    return False  # retired while the request was in flight
                 resp = fired.get(waiter)
                 if resp is None or not resp.ok:
                     return False  # timed out / primary mid-election: retry later

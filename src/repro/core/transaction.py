@@ -120,6 +120,14 @@ class Transaction:
     sites_involved: set = field(default_factory=set)
     stats: TxStats = field(default_factory=TxStats)
     abort_reason: str = ""
+    # Per-transaction quorum overrides (0 = inherit the cluster knobs).
+    # Validated on submission against the same intersection laws as the
+    # cluster-wide read_quorum_r/write_quorum_w (R + W > N, W > N/2); only
+    # meaningful under the "quorum" read/write policies. A transaction can
+    # thus buy stronger reads (larger R) or cheaper commits (smaller W,
+    # within the laws) without reconfiguring the cluster.
+    read_quorum_r: int = 0
+    write_quorum_w: int = 0
 
     def __post_init__(self) -> None:
         if not self.operations:
@@ -147,7 +155,13 @@ class Transaction:
             Operation(doc_name=o.doc_name, kind=o.kind, payload=o.payload)
             for o in self.operations
         ]
-        fresh = Transaction(operations=ops, client_id=self.client_id, label=self.label)
+        fresh = Transaction(
+            operations=ops,
+            client_id=self.client_id,
+            label=self.label,
+            read_quorum_r=self.read_quorum_r,
+            write_quorum_w=self.write_quorum_w,
+        )
         fresh.stats.restarts = self.stats.restarts + 1
         return fresh
 

@@ -8,6 +8,17 @@ from .allocation import (
     allocate_total,
 )
 from .catalog import Catalog, CatalogView
+from .migration import Migration, MigrationManager, MigrationStats
+from .placement import (
+    ExplicitPlacement,
+    HashRing,
+    HashRingPlacement,
+    PartialPlacement,
+    PlacementPolicy,
+    ReplicatedPlacement,
+    TotalPlacement,
+    ring_rebalance,
+)
 from .fragmentation import (
     Fragment,
     FragmentationPlan,
@@ -39,13 +50,23 @@ __all__ = [
     "COMMIT_SYNC_POLICIES",
     "Catalog",
     "CatalogView",
+    "ExplicitPlacement",
     "Fragment",
     "FragmentationPlan",
+    "HashRing",
+    "HashRingPlacement",
+    "Migration",
+    "MigrationManager",
+    "MigrationStats",
     "PRIMARY_COPY_POLICIES",
+    "PartialPlacement",
+    "PlacementPolicy",
     "QuorumSpec",
     "READ_POLICIES",
     "ReplicaSet",
+    "ReplicatedPlacement",
     "ReplicationPolicy",
+    "TotalPlacement",
     "UpdateLog",
     "UpdateLogEntry",
     "VersionVector",
@@ -60,5 +81,6 @@ __all__ = [
     "is_fragment_of",
     "majority",
     "replica_placement",
+    "ring_rebalance",
     "version_frontier",
 ]

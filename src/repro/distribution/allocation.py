@@ -7,18 +7,25 @@ Two replication regimes, matching §3.2:
   site by default) and each fragment lives on its primary site, optionally
   with ``replicas - 1`` extra copies on the following sites (the bold
   entries in Fig. 8).
+
+.. deprecated::
+    The ``allocate_*`` helpers below are thin aliases kept for backward
+    compatibility. New code should use the policy classes in
+    :mod:`repro.distribution.placement` — ``TotalPlacement`` /
+    ``ReplicatedPlacement`` / ``PartialPlacement`` / ``ExplicitPlacement``
+    / ``HashRingPlacement`` — through the single
+    ``place(documents, sites) -> Allocation`` entry point.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
-from ..errors import DistributionError
 from ..xml.model import Document
 from .catalog import Catalog
-from .fragmentation import FragmentationPlan, fragment_document
-from .replication import replica_placement
+from .fragmentation import FragmentationPlan
 
 
 @dataclass
@@ -27,6 +34,8 @@ class Allocation:
 
     catalog: Catalog
     site_documents: dict[Hashable, list[Document]] = field(default_factory=dict)
+    # Filled by PartialPlacement: one plan per fragmented source document.
+    fragment_plans: list[FragmentationPlan] = field(default_factory=list)
 
     def documents_for(self, site_id: Hashable) -> list[Document]:
         return self.site_documents.get(site_id, [])
@@ -38,17 +47,21 @@ class Allocation:
         }
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old}() is deprecated; use repro.distribution.placement.{new}"
+        f".place(documents, sites) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def allocate_total(documents: Sequence[Document], site_ids: Sequence[Hashable]) -> Allocation:
-    """Every document replicated on every site."""
-    if not site_ids:
-        raise DistributionError("need at least one site")
-    catalog = Catalog()
-    alloc = Allocation(catalog, {s: [] for s in site_ids})
-    for doc in documents:
-        catalog.add(doc.name, site_ids)
-        for site in site_ids:
-            alloc.site_documents[site].append(doc.clone())
-    return alloc
+    """Deprecated alias for :class:`~repro.distribution.placement.TotalPlacement`."""
+    from .placement import TotalPlacement
+
+    _deprecated("allocate_total", "TotalPlacement()")
+    return TotalPlacement().place(documents, site_ids)
 
 
 def allocate_replicated(
@@ -56,22 +69,11 @@ def allocate_replicated(
     site_ids: Sequence[Hashable],
     factor: int,
 ) -> Allocation:
-    """Whole-document replication at ``factor`` sites each.
+    """Deprecated alias for :class:`~repro.distribution.placement.ReplicatedPlacement`."""
+    from .placement import ReplicatedPlacement
 
-    Primaries rotate round-robin so no single site coordinates every
-    document; each document's ``factor - 1`` secondaries sit on the
-    following sites. ``factor == len(site_ids)`` is total replication.
-    """
-    if not site_ids:
-        raise DistributionError("need at least one site")
-    catalog = Catalog()
-    alloc = Allocation(catalog, {s: [] for s in site_ids})
-    for i, doc in enumerate(documents):
-        placement = replica_placement(i, site_ids, factor)
-        catalog.add(doc.name, placement)
-        for site in placement:
-            alloc.site_documents[site].append(doc.clone())
-    return alloc
+    _deprecated("allocate_replicated", "ReplicatedPlacement(factor)")
+    return ReplicatedPlacement(factor=factor).place(documents, site_ids)
 
 
 def allocate_partial(
@@ -80,51 +82,26 @@ def allocate_partial(
     replicas: int = 1,
     fragments_per_doc: int | None = None,
 ) -> tuple[Allocation, list[FragmentationPlan]]:
-    """Fragment each document and spread the fragments round-robin.
+    """Deprecated alias for :class:`~repro.distribution.placement.PartialPlacement`.
 
-    ``fragments_per_doc`` defaults to the number of sites (the paper's
-    setup: similar data volume everywhere). ``replicas`` > 1 places each
-    fragment on that many consecutive sites.
+    The plans the old signature returned separately now also live on
+    ``Allocation.fragment_plans``.
     """
-    if not site_ids:
-        raise DistributionError("need at least one site")
-    if replicas < 1 or replicas > len(site_ids):
-        raise DistributionError(
-            f"replicas must be in [1, {len(site_ids)}], got {replicas}"
-        )
-    k = fragments_per_doc if fragments_per_doc is not None else len(site_ids)
-    catalog = Catalog()
-    alloc = Allocation(catalog, {s: [] for s in site_ids})
-    plans: list[FragmentationPlan] = []
-    for doc in documents:
-        plan = fragment_document(doc, k)
-        plans.append(plan)
-        for frag in plan.fragments:
-            home = frag.index % len(site_ids)
-            placement = [
-                site_ids[(home + r) % len(site_ids)] for r in range(replicas)
-            ]
-            catalog.add(frag.name, placement)
-            for site in placement:
-                alloc.site_documents[site].append(frag.document.clone())
-    return alloc, plans
+    from .placement import PartialPlacement
+
+    _deprecated("allocate_partial", "PartialPlacement(replicas, fragments_per_doc)")
+    alloc = PartialPlacement(
+        replicas=replicas, fragments_per_doc=fragments_per_doc
+    ).place(documents, site_ids)
+    return alloc, alloc.fragment_plans
 
 
 def allocate_explicit(
     placements: dict[str, Sequence[Hashable]],
     documents: dict[str, Document],
 ) -> Allocation:
-    """Fully explicit placement (used by the paper's §2.4 scenario: d1 on
-    s1+s2, d2 only on s2)."""
-    catalog = Catalog()
-    sites: set = set()
-    for placement in placements.values():
-        sites.update(placement)
-    alloc = Allocation(catalog, {s: [] for s in sorted(sites)})
-    for name, placement in placements.items():
-        if name not in documents:
-            raise DistributionError(f"no document supplied for placement {name!r}")
-        catalog.add(name, placement)
-        for site in placement:
-            alloc.site_documents[site].append(documents[name].clone())
-    return alloc
+    """Deprecated alias for :class:`~repro.distribution.placement.ExplicitPlacement`."""
+    from .placement import ExplicitPlacement
+
+    _deprecated("allocate_explicit", "ExplicitPlacement(placements)")
+    return ExplicitPlacement(placements=placements).place(list(documents.values()))

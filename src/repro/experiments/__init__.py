@@ -39,6 +39,12 @@ from .replication import (
 )
 from .report import check_fig9, check_fig10, check_fig11a, check_fig11b, check_fig12
 from .runner import ExperimentConfig, build_cluster, run_experiment
+from .scale import (
+    ScaleSweepParams,
+    ScaleSweepResult,
+    check_scale_sweep,
+    scale_sweep,
+)
 
 __all__ = [
     "AvailabilitySweepParams",
@@ -56,7 +62,11 @@ __all__ = [
     "QuorumSweepResult",
     "ReplicationSweepParams",
     "ReplicationSweepResult",
+    "ScaleSweepParams",
+    "ScaleSweepResult",
     "check_partition_sweep",
+    "check_scale_sweep",
+    "scale_sweep",
     "check_quorum_sweep",
     "partition_sweep",
     "quorum_sweep",

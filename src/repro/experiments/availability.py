@@ -50,6 +50,7 @@ class AvailabilitySweepParams:
     outage_ms: float = 12.0  # how long each crashed site stays down
     lazy_staleness_ms: float = 5.0
     drain_ms: float = 80.0  # post-workload settle time (catch-up, lazy tail)
+    seed: int | None = None  # None = the SystemConfig default
 
     @classmethod
     def dense(cls) -> "AvailabilitySweepParams":
@@ -139,6 +140,7 @@ def availability_sweep(
             # lock times out and retries instead of wedging the run.
             lock_wait_timeout_ms=200.0,
             max_restarts=2,
+            **({"seed": params.seed} if params.seed is not None else {}),
         )
         for crashes in params.crash_counts:
             cfg = ExperimentConfig(

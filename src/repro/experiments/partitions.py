@@ -51,6 +51,7 @@ class PartitionSweepParams:
     heartbeat_interval_ms: float = 1.0
     election_timeout_ms: float = 4.0
     drain_ms: float = 150.0  # post-workload settle (elections, catch-up)
+    seed: int | None = None  # None = the SystemConfig default
 
     @classmethod
     def dense(cls) -> "PartitionSweepParams":
@@ -142,6 +143,7 @@ def partition_sweep(
             # and retries instead of wedging the run.
             lock_wait_timeout_ms=200.0,
             max_restarts=2,
+            **({"seed": params.seed} if params.seed is not None else {}),
         )
         cfg = ExperimentConfig(
             protocol=params.protocol,

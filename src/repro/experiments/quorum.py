@@ -81,6 +81,7 @@ class QuorumSweepParams:
     election_timeout_ms: float = 4.0
     lazy_staleness_ms: float = 5.0
     drain_ms: float = 200.0  # post-workload settle (elections, anti-entropy)
+    seed: int | None = None  # None = the SystemConfig default
 
     @classmethod
     def dense(cls) -> "QuorumSweepParams":
@@ -169,6 +170,7 @@ def _system_for(params: QuorumSweepParams, regime: str) -> SystemConfig:
         # instead of wedging the run.
         lock_wait_timeout_ms=200.0,
         max_restarts=2,
+        **({"seed": params.seed} if params.seed is not None else {}),
     )
     if regime.startswith("quorum-"):
         r, w = regime[len("quorum-r"):].split("w")

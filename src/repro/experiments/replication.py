@@ -29,6 +29,7 @@ class ReplicationSweepParams:
     protocol: str = "xdgl"
     read_policy: str = "nearest"
     db_bytes: int = 24_000
+    seed: int | None = None  # None = the SystemConfig default
 
     @classmethod
     def dense(cls) -> "ReplicationSweepParams":
@@ -80,6 +81,7 @@ def replication_sweep(
             replication_factor=factor,
             replica_read_policy=params.read_policy,
             replica_write_policy="primary" if factor > 1 else "all",
+            **({"seed": params.seed} if params.seed is not None else {}),
         )
         for update_ratio in params.update_ratios:
             cfg = ExperimentConfig(
