@@ -12,11 +12,12 @@ Usage::
     python -m repro partitions              # lease-timeout sweep under a network split
     python -m repro quorum                  # (R, W) grid vs eager/lazy under faults
     python -m repro scale                   # hash-ring elasticity: join + decommission
+    python -m repro views                   # materialized views vs the locked read path
     python -m repro bench                   # trajectory harness -> BENCH_<n>.json
     python -m repro bench --check           # wall-clock regression gate (CI)
 
 The sweep subcommands (replication, availability, partitions, quorum,
-scale) share one flag surface: ``--full`` (denser grid), ``--sites`` /
+scale, views) share one flag surface: ``--full`` (denser grid), ``--sites`` /
 ``--clients`` (workload size), ``--seed`` (override the SystemConfig
 seed) and ``--json`` (machine-readable cells instead of tables), plus
 per-sweep extras.  ``scale`` sweeps a *grid* of sites x clients, so its
@@ -356,6 +357,33 @@ def _run_scale(args, out=sys.stdout) -> int:
     )
 
 
+def _run_views(args, out=sys.stdout) -> int:
+    from .experiments.views import (
+        ViewsSweepParams,
+        check_views_sweep,
+        views_sweep,
+    )
+
+    params = ViewsSweepParams.dense() if args.full else ViewsSweepParams.from_env()
+    params, rc = _fold_common(params, args, grid=False, out=out)
+    if rc is not None:
+        return rc
+    if args.staleness is not None:
+        params = replace(params, staleness_grid=tuple(args.staleness))
+    return _emit_sweep(
+        "views", views_sweep(params), check_views_sweep,
+        (
+            ("committed", "{:10.0f}"),
+            ("response_ms", "{:10.2f}"),
+            ("view_hit_rate", "{:10.2f}"),
+            ("staleness_ms", "{:10.2f}"),
+            ("lock_ops", "{:10.0f}"),
+            ("commit_requests", "{:10.0f}"),
+        ),
+        args.as_json, out,
+    )
+
+
 def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -434,6 +462,18 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         help="when the decommissioned site leaves (default: 60)",
     )
 
+    p_views = sub.add_parser(
+        "views", parents=[common],
+        help="materialized XPath views vs the locked read path: a two-phase "
+        "read-heavy scenario per staleness bound; the readonly phase must "
+        "serve every read from the view host with zero lock-table "
+        "operations and zero 2PC rounds",
+    )
+    p_views.add_argument(
+        "--staleness", nargs="+", type=float, default=None, metavar="MS",
+        help="view staleness bounds (ms) to sweep (default: 2 20)",
+    )
+
     # The bench harness owns its own argparse surface (it is also runnable
     # as benchmarks/trajectory.py); register a stub for --help discovery
     # but dispatch before parsing so its flags are defined exactly once.
@@ -465,6 +505,7 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         "partitions": _run_partitions,
         "quorum": _run_quorum,
         "scale": _run_scale,
+        "views": _run_views,
     }
     if args.command in sweeps:
         from .errors import ConfigError

@@ -199,6 +199,23 @@ class SystemConfig:
     election_timeout_ms:
         How long an election waits for LogTipReports before deciding (or
         giving up for lack of a majority) (``"lease"`` only).
+    view_staleness_ms:
+        Default staleness bound for materialized-view reads (``0`` = view
+        routing off, the default). When positive and a registered view's
+        pattern subsumes a read-only transaction's query, the coordinator
+        answers the query from the view host — no locks, no 2PC — as long
+        as the view's shadow provably matched the primary's committed log
+        within the last ``view_staleness_ms``. Per-transaction overridable
+        via ``Transaction.view_staleness_ms`` (like the quorum overrides);
+        any refusal, epoch change or view-host crash falls back to the
+        normal locked read path, so correctness never depends on a view.
+    view_refresh_ms:
+        Period of the primary's view-delta push loop. Each tick ships the
+        committed log entries accumulated since the last one as a single
+        ``ViewDeltaBatch`` per view host (an empty batch is a freshness
+        beacon for idle documents). The effective view lag is roughly one
+        period plus network latency, so ``view_staleness_ms`` should
+        comfortably exceed this.
     """
 
     network: NetworkConfig = field(default_factory=NetworkConfig)
@@ -229,6 +246,8 @@ class SystemConfig:
     heartbeat_interval_ms: float = 1.0
     lease_timeout_ms: float = 4.0
     election_timeout_ms: float = 4.0
+    view_staleness_ms: float = 0.0
+    view_refresh_ms: float = 2.0
 
     def validate(self) -> None:
         self.network.validate()
@@ -273,6 +292,10 @@ class SystemConfig:
             )
         if self.election_timeout_ms <= 0:
             raise ConfigError("election_timeout_ms must be > 0")
+        if self.view_staleness_ms < 0:
+            raise ConfigError("view_staleness_ms must be >= 0")
+        if self.view_refresh_ms <= 0:
+            raise ConfigError("view_refresh_ms must be > 0")
 
     def with_(self, **kwargs) -> "SystemConfig":
         """Return a copy with the given top-level fields replaced."""

@@ -248,6 +248,57 @@ class DTXCluster:
             at_ms - self.env.now, self.migration.migrate, doc_name, tuple(targets), label
         )
 
+    # -- materialized views ------------------------------------------------
+
+    def register_view(
+        self,
+        name: str,
+        pattern: str,
+        doc_names: Sequence[str],
+        host: Hashable,
+    ):
+        """Register a materialized XPath view and start maintaining it.
+
+        ``host`` materializes a shadow of each document from a committed
+        snapshot, then stays fresh from :class:`ViewDeltaBatch` pushes off
+        each document's primary. Requires a primary-copy write regime with
+        replication degree >= 2 for every document: view maintenance
+        consumes the primary's committed update log, and unreplicated or
+        write-all documents record no log entries to push. Returns the
+        :class:`~repro.views.ViewDefinition`.
+        """
+        from ..views import ViewDefinition
+
+        if host not in self.sites:
+            raise ConfigError(f"view host {host!r} is not a site")
+        if self.config.replica_write_policy == "all":
+            raise ConfigError(
+                "materialized views need a primary-copy write regime "
+                "(replica_write_policy != 'all'): write-all documents record "
+                "no update log to maintain the view from"
+            )
+        view = ViewDefinition.define(
+            name=name, pattern=pattern, doc_names=doc_names, host=host
+        )
+        for doc_name in view.doc_names:
+            if not self.catalog.has_document(doc_name):
+                raise ConfigError(f"view {name!r} spans unplaced document {doc_name!r}")
+            if self.catalog.replication_degree(doc_name) < 2:
+                raise ConfigError(
+                    f"view {name!r}: document {doc_name!r} is unreplicated; "
+                    "its commits bypass the update log"
+                )
+        self.catalog.register_view(view)
+        host_site = self.sites[host]
+        for doc_name in view.doc_names:
+            host_site.host_view(doc_name)
+            # Arm the push loop at every replica-set member: any of them
+            # may be (or become) the document's primary.
+            for sid in self.catalog.sites_for(doc_name):
+                self.sites[sid]._ensure_view_push(doc_name)
+            host_site.hydrate_view(doc_name)
+        return view
+
     # -- fault injection ---------------------------------------------------
 
     def crash_site(self, site_id: Hashable) -> None:

@@ -151,6 +151,11 @@ class CoordinatorRecord:
     # data effects present): a crash of any of them voids the transaction
     executed_sites: set = field(default_factory=set)
 
+    # operations answered by a materialized-view host: the host never joins
+    # the transaction, so when *every* operation was view-served the commit
+    # is pure bookkeeping — no locks to release, no 2PC round to run
+    view_served_ops: int = 0
+
     # sites dropped from the current ack round because they crashed
     down_acks: set = field(default_factory=set)
 

@@ -532,6 +532,112 @@ class TxOutcome:
 
 
 # ----------------------------------------------------------------------
+# materialized views (repro.views)
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class ViewDeltaBatch:
+    """Primary -> view host: committed log entries since the last push.
+
+    The view-host analogue of :class:`ReplicaSyncBatch`: entries are
+    committed ``UpdateLogEntry`` objects in LSN order, ``watermark`` is the
+    primary's gapless ``applied_lsn`` at push time. An *empty* batch is a
+    freshness beacon — it proves the host's shadow still matches the
+    primary up to ``watermark``, so idle documents stay serveable within
+    the staleness bound. ``epoch`` fences pushes from deposed primaries.
+    """
+
+    primary: Hashable
+    doc_name: str
+    batch_id: int
+    epoch: int
+    watermark: int
+    entries: list = field(default_factory=list)
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 24 + sum(e.payload_size() for e in self.entries)
+
+
+@dataclass(slots=True)
+class ViewFetchRequest:
+    """View host -> primary: send me a committed snapshot to (re)materialize."""
+
+    doc_name: str
+    requester: Hashable
+    req_id: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 16
+
+
+@dataclass(slots=True)
+class ViewFetchResponse:
+    """Primary -> view host: serialized committed state + its log position.
+
+    ``ok=False`` when the responder no longer leads the document (or holds
+    recording gaps); the host simply retries on the next delta that needs
+    hydration. ``snapshot_epoch`` is the primary's *current* epoch for the
+    document, so subsequent same-epoch deltas apply without a spurious
+    re-hydration cycle.
+    """
+
+    doc_name: str
+    req_id: int
+    snapshot: Any = None  # serialized document text
+    snapshot_lsn: int = 0
+    snapshot_epoch: int = 0
+    ok: bool = True
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 16 + (len(self.snapshot) if self.snapshot else 0)
+
+
+@dataclass(slots=True)
+class ViewReadRequest:
+    """Coordinator -> view host: answer this read-only query from the view.
+
+    ``epoch`` is the coordinator's catalog epoch for the document — the
+    host refuses on mismatch in either direction, so a fenced shadow never
+    serves and a stale coordinator never trusts a newer timeline blindly.
+    ``bound_ms`` is the transaction's effective staleness bound.
+    """
+
+    tid: TxId
+    coordinator: Hashable
+    op: Operation
+    read_id: int
+    epoch: int
+    bound_ms: float
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + self.op.payload_size()
+
+
+@dataclass(slots=True)
+class ViewReadResult:
+    """View host -> coordinator: the view answer (or a refusal).
+
+    Any ``ok=False`` makes the coordinator fall back to the locked path;
+    ``reason`` distinguishes not-hydrated, epoch-fenced and stale refusals
+    for the stats. ``staleness_ms`` is the shadow's age at serve time and
+    ``lsn`` the committed-log prefix the answer observed.
+    """
+
+    tid: TxId
+    read_id: int
+    site: Hashable
+    ok: bool
+    reason: str = ""
+    result_size: int = 0
+    staleness_ms: float = 0.0
+    lsn: int = 0
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 24 + self.result_size + len(self.reason)
+
+
+# ----------------------------------------------------------------------
 # message pooling
 # ----------------------------------------------------------------------
 

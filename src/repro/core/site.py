@@ -43,6 +43,7 @@ from ..xml.model import Document
 from ..xml.parser import parse_document
 from ..xml.serializer import serialize_document
 from ..xpath.evaluator import EvalStats, evaluate
+from ..xpath.parser import parse_cache_stats
 from .context import CoordinatorRecord, OpEntry, SiteTxContext, _AbortTx, _SiteCrashed
 from .faults import SiteMembership
 from .messages import (
@@ -74,6 +75,11 @@ from .messages import (
     UndoOpRequest,
     VersionProbe,
     VersionReport,
+    ViewDeltaBatch,
+    ViewFetchRequest,
+    ViewFetchResponse,
+    ViewReadRequest,
+    ViewReadResult,
     WakeNotice,
     WfgRequest,
     WfgResponse,
@@ -205,6 +211,23 @@ class SiteStats:
     # sites (not the sum) for run totals.
     pool_hits: int = 0  # acquires served by recycling a released message
     pool_misses: int = 0  # acquires that had to allocate
+    # XPath parse memo (process-wide LRU, like the pool: snapshots of the
+    # global counters as of this site's last operation — read the max
+    # across sites, not the sum).
+    parse_cache_hits: int = 0
+    parse_cache_misses: int = 0
+    # Materialized views (repro.views; routed when view_staleness_ms > 0).
+    view_reads_routed: int = 0  # read ops this coordinator answered from a view
+    view_read_fallbacks: int = 0  # view rounds refused/timed out -> locked path
+    view_reads_served: int = 0  # ViewReadRequests this host answered ok
+    view_stale_refusals: int = 0  # serves refused: staleness bound exceeded
+    view_epoch_refusals: int = 0  # serves refused: epoch mismatch (fenced)
+    view_fenced_deltas: int = 0  # delta batches dropped: older epoch
+    view_deltas_applied: int = 0  # log entries applied to hosted shadows
+    view_delta_batches: int = 0  # ViewDeltaBatch messages pushed from here
+    view_deltas_coalesced: int = 0  # log entries that rode a pushed batch
+    view_hydrations: int = 0  # snapshot (re)materializations at this host
+    view_staleness_sum_ms: float = 0.0  # summed staleness at serve time
 
 
 class DTXSite:
@@ -318,6 +341,19 @@ class DTXSite:
         # ReplicaSyncBatch per live secondary (the group-commit machinery's
         # batching, reused on the asynchronous path).
         self._lazy_outboxes: dict[str, list] = {}
+        # Materialized views (repro.views). All of it stays empty/None
+        # unless a view is registered somewhere: ``_views`` is the lazily
+        # built ViewManager of a *hosting* site, ``_view_outboxes`` the
+        # primary-side committed-entry queues drained by the per-document
+        # push loops in ``_view_push_docs``, and ``_view_reads`` /
+        # ``_view_fetch_waiters`` the coordinator/host round bookkeeping.
+        self._views = None
+        self._view_outboxes: dict[str, list] = {}
+        self._view_push_docs: set[str] = set()
+        self._view_reads: dict[int, tuple] = {}  # read_id -> (event, host)
+        self._view_read_seq = 0
+        self._view_fetch_waiters: dict[int, object] = {}
+        self._view_fetch_seq = 0
 
         env.process(self._listener())
         env.process(self._participant_loop())
@@ -560,6 +596,8 @@ class DTXSite:
         """
         if tx.read_quorum_r or tx.write_quorum_w:
             self.replication.validate_tx_quorums(tx.read_quorum_r, tx.write_quorum_w)
+        if tx.view_staleness_ms < 0:
+            raise ReproError("view_staleness_ms must be >= 0")
         tx.stats.submitted_ts = self.env.now
         if not self.alive:
             # Connection refused: the site is down. The outcome is
@@ -660,6 +698,11 @@ class DTXSite:
             VersionProbe: self._on_version_probe,
             VersionReport: self._on_version_report,
             ReadRepairNudge: self._on_read_repair,
+            ViewDeltaBatch: self._on_view_delta,
+            ViewFetchRequest: self._on_view_fetch_request,
+            ViewFetchResponse: self._on_view_fetch_response,
+            ViewReadRequest: self._on_view_read_request,
+            ViewReadResult: self._on_view_read_result,
             WakeNotice: self._on_wake_notice,
             WfgRequest: self._on_wfg_request,
             WfgResponse: self._on_wfg_response,
@@ -1046,6 +1089,9 @@ class DTXSite:
             coordinator = req.coordinator
             result = self._execute_operation(req.tid, coordinator, req.op)
             self.stats.remote_ops_served += 1
+            self.stats.parse_cache_hits, self.stats.parse_cache_misses = (
+                parse_cache_stats()
+            )
             if result.cost_ms:
                 yield result.cost_ms
             if pool is None:
@@ -1339,6 +1385,7 @@ class DTXSite:
             persisted = self._persist_committed(entry.doc_name)
             cost += (persisted / 1024.0) * self.costs.persist_per_kb_ms
         self.log_for(entry.doc_name).record(entry)
+        self._offer_view_entry(entry)
         return cost
 
     def _handle_commit_request(self, msg: CommitRequest):
@@ -1564,6 +1611,25 @@ class DTXSite:
                 raise _AbortTx(rec.abort_reason or "abort-ordered")
             rset = self.catalog.replica_set(op.doc_name)
             if op.kind is OpKind.QUERY:
+                # Materialized-view routing: a read-only transaction whose
+                # query a registered view subsumes is answered from the
+                # view host within the staleness bound — no locks, no 2PC
+                # (the host never joins sites_involved). Every refusal,
+                # timeout or host crash falls through to the locked path
+                # below, so correctness never depends on a view.
+                view_bound = tx.view_staleness_ms or self.config.view_staleness_ms
+                if (
+                    view_bound > 0
+                    and self.catalog.has_views(op.doc_name)
+                    and not tx.is_update_transaction
+                ):
+                    served = yield from self._try_view_read(rec, op, view_bound)
+                    if served:
+                        op.executed = True
+                        rec.view_served_ops += 1
+                        self.stats.view_reads_routed += 1
+                        return
+                    self.stats.view_read_fallbacks += 1
                 if (
                     self.replication.is_quorum_read
                     and rset.is_replicated
@@ -2527,6 +2593,12 @@ class DTXSite:
         self._check_alive()
         if rec.abort_requested:
             return False
+        if rec.view_served_ops and rec.view_served_ops == len(rec.tx.operations):
+            # Every operation was answered by a view host: no site — this
+            # one included — holds any state for the transaction, so there
+            # are no locks to release, nothing to sync and no 2PC round.
+            self.finished.add(rec.tid)
+            return True
         if self.replication.syncs_at_commit:
             synced_ok = yield from self._sync_replicas(rec)
             if not synced_ok:
@@ -2685,6 +2757,22 @@ class DTXSite:
         # durable log; whether they survive depends on who gets promoted —
         # the lazy regime's documented loss window).
         self._lazy_outboxes.clear()
+        # Materialized-view state is all volatile: the primary-side push
+        # outboxes die (hosts detect the watermark gap and re-hydrate),
+        # in-flight view rounds fire with None so their waiters fall back
+        # to the locked path, and a hosting site's shadows are wiped
+        # (recovery re-hydrates them from the current primaries).
+        self._view_outboxes.clear()
+        for waiter, _host in list(self._view_reads.values()):
+            if not waiter.triggered:
+                waiter.succeed(None)
+        self._view_reads.clear()
+        for waiter in list(self._view_fetch_waiters.values()):
+            if not waiter.triggered:
+                waiter.succeed(None)
+        self._view_fetch_waiters.clear()
+        if self._views is not None:
+            self._views.wipe()
         if self.membership is not None:
             # The lease table and election state are volatile: a recovered
             # site re-learns the world from the heartbeats that greet it.
@@ -2759,6 +2847,13 @@ class DTXSite:
                 rset = self.catalog.replica_set(name)
                 if rset.primary == self.site_id:
                     break
+        # Hosted view shadows were wiped by the crash: re-hydrate each from
+        # its document's current primary so the views go back to serving.
+        if self._views is not None:
+            for doc_name in sorted(self._views.states):
+                if not self.alive:
+                    return
+                yield from self._view_fetch(doc_name)
 
     def _on_site_down(self, down: Hashable) -> None:
         """React to the failure monitor's crash announcement.
@@ -2816,6 +2911,12 @@ class DTXSite:
                     and set(probe_state.reports) >= probe_state.expected
                 ):
                     probe_state.event.succeed(None)
+        # View-read rounds aimed at the dead host fire with None now, so
+        # their coordinators fall back to the locked path immediately
+        # instead of riding out the round timeout.
+        for waiter, host in list(self._view_reads.values()):
+            if host == down and not waiter.triggered:
+                waiter.succeed(None)
         for tid, ctx in list(self.tx_contexts.items()):
             if ctx.coordinator != down or tid in self.coordinators:
                 continue
@@ -3391,6 +3492,7 @@ class DTXSite:
                 ops=tuple(ops),
             )
             self.log_for(doc_name).record(entry)
+            self._offer_view_entry(entry)
             if persist:
                 self._persist_committed(doc_name)
             pending = self._lazy_outboxes.setdefault(doc_name, [])
@@ -3437,3 +3539,327 @@ class DTXSite:
             )
             self.stats.lazy_batches_propagated += 1
         self.stats.lazy_entries_coalesced += len(entries)
+
+    # ------------------------------------------------------------------
+    # materialized views (repro.views)
+    # ------------------------------------------------------------------
+
+    @property
+    def views(self):
+        """This site's :class:`~repro.views.ViewManager`, built on first use.
+
+        Lazy like ``DTXCluster.migration``: a site that hosts no view never
+        constructs one, so default schedules stay bit-identical.
+        """
+        if self._views is None:
+            from ..views import ViewManager
+
+            self._views = ViewManager(self)
+        return self._views
+
+    def host_view(self, doc_name: str) -> None:
+        """Start hosting a view shadow of ``doc_name`` (cluster wiring)."""
+        self.views.add_doc(doc_name)
+
+    def hydrate_view(self, doc_name: str) -> None:
+        """Schedule the initial snapshot fetch for a hosted view shadow."""
+        self.env.process(self._hydrate_view_proc(doc_name))
+
+    def _hydrate_view_proc(self, doc_name: str):
+        yield (self.costs.scheduler_dispatch_ms)
+        if self.alive:
+            yield from self._view_fetch(doc_name)
+
+    # -- primary side: committed-entry push --------------------------------
+
+    def _offer_view_entry(self, entry: UpdateLogEntry) -> None:
+        """Queue a freshly recorded committed entry for the view hosts.
+
+        Called at every log-record choke point. Only the document's
+        *current* primary feeds its view outbox (a deposed site's entries
+        are fenced by epoch at the host anyway); without registered views
+        this is a single dict miss, so default schedules pay nothing.
+        """
+        if not self.catalog.has_views(entry.doc_name):
+            return
+        if self.catalog.replica_set(entry.doc_name).primary != self.site_id:
+            return
+        self._view_outboxes.setdefault(entry.doc_name, []).append(entry)
+        self._ensure_view_push(entry.doc_name)
+
+    def _ensure_view_push(self, doc_name: str) -> None:
+        """Run the per-document view push loop at this (potential) primary.
+
+        The cluster starts one at every replica-set member when a view is
+        registered — any of them may be elected primary later — and
+        ``_offer_view_entry`` backstops sites that joined the set after
+        registration (e.g. by migration).
+        """
+        if doc_name in self._view_push_docs:
+            return
+        self._view_push_docs.add(doc_name)
+        self.env.process(self._view_push_loop(doc_name))
+
+    def _view_push_loop(self, doc_name: str):
+        """Ship committed log entries (and freshness beacons) to view hosts.
+
+        Every ``view_refresh_ms`` the outbox drains into one
+        :class:`ViewDeltaBatch` per live host. An *empty* batch still
+        ships: its watermark proves the host's shadow current, keeping an
+        idle document serveable within the staleness bound. The loop
+        survives crashes (heartbeat-loop idiom) and goes quiet whenever
+        this site does not currently lead the document.
+        """
+        while True:
+            yield (self.config.view_refresh_ms)
+            if not self.alive:
+                continue
+            views = self.catalog.views_for(doc_name)
+            if not views:  # pragma: no cover - views are never unregistered
+                return
+            rset = self.catalog.replica_set(doc_name)
+            if rset.primary != self.site_id:
+                # Not (or no longer) the primary: any queued entries are
+                # from a fenced regime; the current primary pushes its own.
+                self._view_outboxes.pop(doc_name, None)
+                continue
+            epoch = self.catalog.epoch(doc_name)
+            entries = [
+                e
+                for e in self._view_outboxes.pop(doc_name, ())
+                if e.epoch >= epoch
+            ]
+            watermark = self.log_for(doc_name).applied_lsn
+            self._batch_seq += 1
+            batch_id = self._batch_seq
+            sent = 0
+            for host in sorted({v.host for v in views}, key=str):
+                if host != self.site_id and not self._peer_up(host):
+                    continue
+                self.network.send(
+                    self.site_id,
+                    host,
+                    ViewDeltaBatch(
+                        primary=self.site_id,
+                        doc_name=doc_name,
+                        batch_id=batch_id,
+                        epoch=epoch,
+                        watermark=watermark,
+                        entries=list(entries),
+                    ),
+                )
+                sent += 1
+            if sent:
+                self.stats.view_delta_batches += sent
+                self.stats.view_deltas_coalesced += sent * len(entries)
+
+    def _on_view_fetch_request(self, msg: ViewFetchRequest) -> None:
+        self.env.process(self._handle_view_fetch_request(msg))
+
+    def _handle_view_fetch_request(self, msg: ViewFetchRequest):
+        """Serve a committed snapshot for a view host's (re)materialization.
+
+        Same committed-state source as the catch-up path (the persisted
+        stable copy); refused when this site does not currently lead the
+        document or its log still has recording holes (a snapshot taken
+        then could tear across a racing batch).
+        """
+        if not self.alive:
+            return
+        yield (self.costs.scheduler_dispatch_ms)
+        if not self.alive:
+            return
+        doc_name = msg.doc_name
+        ok = (
+            self.catalog.has_document(doc_name)
+            and self.catalog.replica_set(doc_name).primary == self.site_id
+            and self.data_manager.is_loaded(doc_name)
+        )
+        log = self.log_for(doc_name) if ok else None
+        if ok and log.applied_lsn != log.max_recorded_lsn:
+            ok = False
+        if not ok:
+            resp = ViewFetchResponse(doc_name=doc_name, req_id=msg.req_id, ok=False)
+        else:
+            resp = ViewFetchResponse(
+                doc_name=doc_name,
+                req_id=msg.req_id,
+                snapshot=serialize_document(self.data_manager.backend.load(doc_name)),
+                snapshot_lsn=log.applied_lsn,
+                snapshot_epoch=self.catalog.epoch(doc_name),
+            )
+        self.network.send(self.site_id, msg.requester, resp)
+
+    # -- host side: maintenance and serving --------------------------------
+
+    def _on_view_delta(self, msg: ViewDeltaBatch) -> None:
+        self.env.process(self._handle_view_delta(msg))
+
+    def _handle_view_delta(self, msg: ViewDeltaBatch):
+        if not self.alive or self._views is None:
+            return
+        cost, need_fetch = self._views.ingest_delta(msg)
+        yield (cost)
+        if not self.alive:
+            return
+        if need_fetch:
+            yield from self._view_fetch(msg.doc_name)
+
+    def _on_view_fetch_response(self, msg: ViewFetchResponse) -> None:
+        waiter = self._view_fetch_waiters.pop(msg.req_id, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(msg)
+
+    def _view_fetch(self, doc_name: str):
+        """(Re)materialize one hosted shadow from the current primary.
+
+        Serialized per document (one fetch in flight); a refusal or
+        timeout simply leaves the shadow unhydrated — the next delta that
+        needs hydration retries, and reads fall back meanwhile. A host
+        that leads the document itself materializes locally.
+        """
+        mgr = self._views
+        if mgr is None:
+            return
+        state = mgr.states.get(doc_name)
+        if state is None or state.fetching:
+            return
+        state.fetching = True
+        try:
+            if not self.catalog.has_document(doc_name):
+                return
+            primary = self.catalog.replica_set(doc_name).primary
+            if primary == self.site_id:
+                if not self.data_manager.is_loaded(doc_name):
+                    return
+                log = self.log_for(doc_name)
+                if log.applied_lsn != log.max_recorded_lsn:
+                    return  # racing batches in flight; retry later
+                snapshot = serialize_document(
+                    self.data_manager.backend.load(doc_name)
+                )
+                cost = mgr.install_snapshot(
+                    doc_name, snapshot, log.applied_lsn,
+                    self.catalog.epoch(doc_name),
+                )
+                yield (cost)
+                return
+            if not self._peer_up(primary):
+                return
+            self._view_fetch_seq += 1
+            req_id = self._view_fetch_seq
+            waiter = self.env.event()
+            self._view_fetch_waiters[req_id] = waiter
+            self.network.send(
+                self.site_id,
+                primary,
+                ViewFetchRequest(
+                    doc_name=doc_name, requester=self.site_id, req_id=req_id
+                ),
+            )
+            timeout_ev = self.env.timeout(self.config.catchup_timeout_ms, value=None)
+            fired = yield self.env.any_of([waiter, timeout_ev])
+            self._view_fetch_waiters.pop(req_id, None)
+            if not self.alive:
+                return
+            resp = fired.get(waiter)
+            if resp is None or not resp.ok:
+                return
+            cost = mgr.install_snapshot(
+                doc_name, resp.snapshot, resp.snapshot_lsn, resp.snapshot_epoch
+            )
+            yield (cost)
+        finally:
+            state.fetching = False
+
+    def _on_view_read_request(self, msg: ViewReadRequest) -> None:
+        self.env.process(self._handle_view_read(msg))
+
+    def _handle_view_read(self, msg: ViewReadRequest):
+        """Serve one routed read from the local shadow — no locks, no tx.
+
+        The refusal reasons (``no-view`` / ``epoch-fenced`` / ``stale``)
+        all make the coordinator fall back; only a hydrated, same-epoch,
+        within-bound shadow answers.
+        """
+        if not self.alive:
+            return
+        if self._views is None:
+            ok, reason, size, staleness, lsn, cost = False, "no-view", 0, 0.0, 0, 0.0
+        else:
+            ok, reason, size, staleness, lsn, cost = self._views.serve(
+                msg.op, msg.epoch, msg.bound_ms
+            )
+        yield (self.costs.scheduler_dispatch_ms + cost)
+        if not self.alive:
+            return
+        self.network.send(
+            self.site_id,
+            msg.coordinator,
+            ViewReadResult(
+                tid=msg.tid,
+                read_id=msg.read_id,
+                site=self.site_id,
+                ok=ok,
+                reason=reason,
+                result_size=size,
+                staleness_ms=staleness,
+                lsn=lsn,
+            ),
+        )
+
+    # -- coordinator side: routing -----------------------------------------
+
+    def _on_view_read_result(self, msg: ViewReadResult) -> None:
+        entry = self._view_reads.get(msg.read_id)
+        if entry is not None:
+            waiter, _host = entry
+            if not waiter.triggered:
+                waiter.succeed(msg)
+
+    def _try_view_read(self, rec: CoordinatorRecord, op: Operation, bound_ms: float):
+        """Try to answer a read-only query from a registered view host.
+
+        One bounded round per covering live host, in registration order.
+        True on success — the answer came entirely from the view host,
+        which never joins ``sites_involved`` (zero lock-table operations,
+        zero 2PC participation for this read). False when every candidate
+        refused or timed out: the caller falls back to the locked path.
+        """
+        epoch = self.catalog.epoch(op.doc_name)
+        tried: set = set()
+        for view in self.catalog.views_for(op.doc_name):
+            host = view.host
+            if host in tried:  # per-doc shadow: same answer as before
+                continue
+            if not view.covers(op.doc_name, op.payload):
+                continue
+            tried.add(host)
+            if not self._peer_up(host):
+                continue
+            self._view_read_seq += 1
+            read_id = self._view_read_seq
+            waiter = self.env.event()
+            self._view_reads[read_id] = (waiter, host)
+            self.network.send(
+                self.site_id,
+                host,
+                ViewReadRequest(
+                    tid=rec.tid,
+                    coordinator=self.site_id,
+                    op=op,
+                    read_id=read_id,
+                    epoch=epoch,
+                    bound_ms=bound_ms,
+                ),
+            )
+            timeout_ev = self.env.timeout(self.config.catchup_timeout_ms, value=None)
+            fired = yield self.env.any_of([waiter, timeout_ev])
+            self._view_reads.pop(read_id, None)
+            self._check_alive()
+            if rec.abort_requested:
+                raise _AbortTx(rec.abort_reason or "abort-ordered")
+            resp = fired.get(waiter)
+            if resp is not None and resp.ok:
+                return True
+        return False

@@ -128,6 +128,12 @@ class Transaction:
     # within the laws) without reconfiguring the cluster.
     read_quorum_r: int = 0
     write_quorum_w: int = 0
+    # Per-transaction materialized-view staleness bound in ms (0 = inherit
+    # the cluster's view_staleness_ms). Only read-only transactions are
+    # ever view-routed; a transaction can thus accept more staleness for a
+    # cheaper lock-free read, or demand less, without reconfiguring the
+    # cluster. Validated >= 0 on submission.
+    view_staleness_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.operations:
@@ -161,6 +167,7 @@ class Transaction:
             label=self.label,
             read_quorum_r=self.read_quorum_r,
             write_quorum_w=self.write_quorum_w,
+            view_staleness_ms=self.view_staleness_ms,
         )
         fresh.stats.restarts = self.stats.restarts + 1
         return fresh

@@ -37,6 +37,12 @@ class Catalog:
         # whose batches both pass the `epoch < current` fence) is
         # structurally impossible.
         self._claimed_epochs: dict[str, int] = {}
+        # Materialized views (repro.views): definition registry plus a
+        # doc -> views index for the O(1) routing check. Static during a
+        # run, like placement; empty unless views are registered, so
+        # default schedules never touch it.
+        self._views: dict[str, object] = {}
+        self._views_by_doc: dict[str, tuple] = {}
 
     def add(self, doc_name: str, site_ids: Iterable[Hashable]) -> None:
         sites = tuple(site_ids)
@@ -165,6 +171,35 @@ class Catalog:
     def replication_degree(self, doc_name: str) -> int:
         return len(self.sites_for(doc_name))
 
+    # -- materialized views (repro.views) ------------------------------------
+
+    def register_view(self, view) -> None:
+        """Register a :class:`~repro.views.ViewDefinition` (static, like
+        placement). Every document the view spans must already be placed."""
+        if view.name in self._views:
+            raise DistributionError(f"view {view.name!r} already registered")
+        for doc_name in view.doc_names:
+            if doc_name not in self._placement:
+                raise DistributionError(
+                    f"view {view.name!r} spans unplaced document {doc_name!r}"
+                )
+        self._views[view.name] = view
+        for doc_name in view.doc_names:
+            self._views_by_doc[doc_name] = (
+                *self._views_by_doc.get(doc_name, ()),
+                view,
+            )
+
+    def has_views(self, doc_name: str) -> bool:
+        return doc_name in self._views_by_doc
+
+    def views_for(self, doc_name: str) -> tuple:
+        """Views spanning ``doc_name``, in registration order."""
+        return self._views_by_doc.get(doc_name, ())
+
+    def all_views(self) -> list:
+        return list(self._views.values())
+
     def __len__(self) -> int:
         return len(self._placement)
 
@@ -270,3 +305,15 @@ class CatalogView:
 
     def replication_degree(self, doc_name: str) -> int:
         return self._shared.replication_degree(doc_name)
+
+    def register_view(self, view) -> None:
+        self._shared.register_view(view)
+
+    def has_views(self, doc_name: str) -> bool:
+        return self._shared.has_views(doc_name)
+
+    def views_for(self, doc_name: str) -> tuple:
+        return self._shared.views_for(doc_name)
+
+    def all_views(self) -> list:
+        return self._shared.all_views()

@@ -476,6 +476,103 @@ def probe_quorum(features: dict, quick: bool = False) -> dict:
 
 
 # ----------------------------------------------------------------------
+# materialized-view probe (lock-free reads off asynchronously-fed shadows)
+# ----------------------------------------------------------------------
+
+def probe_views(features: dict, quick: bool = False) -> dict:
+    """Materialized-view regime probe: write burst, then view-served reads.
+
+    One document replicated at two sites, a ``/hot/*`` view hosted at a
+    third. Phase 1 is a write burst off the primary (the shadow is fed by
+    ``ViewDeltaBatch`` pushes); phase 2, after a settle window, submits
+    read-only transactions at a fourth site that are answered entirely by
+    the view host — zero lock-table operations and zero CommitRequests for
+    the whole phase, asserted in the returned dict as deltas. The state
+    digest covers both replicas *and* the view shadow, proving the
+    asynchronous maintenance converged to the primary's bytes.
+    """
+    writers, writes_each, reads = (4, 2, 8) if quick else (8, 3, 16)
+    cfg = SystemConfig().with_(
+        client_think_ms=0.0,
+        replication_factor=2,
+        replica_read_policy="primary",
+        replica_write_policy="primary",
+        view_staleness_ms=30.0,
+        view_refresh_ms=2.0,
+        **features,
+    )
+    cluster = DTXCluster(protocol="xdgl", config=cfg)
+    hot = doc("hot", E("hot", *[E(f"c{i}") for i in range(writers)]))
+    for sid in ("s1", "s2", "s3", "s4"):
+        cluster.add_site(sid)
+    cluster.replicate_document(hot, ["s1", "s2"])
+    cluster.register_view("hot-view", "/hot/*", ["hot"], host="s3")
+    cluster.start()
+    t0 = time.perf_counter()
+    write_outcomes: list = []
+    read_outcomes: list = []
+    for i in range(writers):
+        for t in range(writes_each):
+            tx = Transaction(
+                [Operation.update("hot", InsertOp(f"<e><t>{t}</t></e>", f"/hot/c{i}"))],
+                label=f"w{i}.{t}",
+            )
+            cluster.sites["s1"].submit(tx, write_outcomes.append)
+    cluster.env.run(until=cluster.env.now + 40.0)  # writes + shadow catch-up
+    lock_ops_before = sum(
+        site.lock_manager.table.lock_ops for site in cluster.sites.values()
+    )
+    commits_before = cluster.network.stats.by_kind.get("CommitRequest", 0)
+    read_t0 = time.perf_counter()
+    sim_t0 = cluster.env.now
+    for r in range(reads):
+        tx = Transaction(
+            [Operation.query("hot", f"/hot/c{r % writers}")], label=f"r{r}"
+        )
+        cluster.sites["s4"].submit(tx, read_outcomes.append)
+    cluster.env.run(until=cluster.env.now + 60.0)
+    read_seconds = time.perf_counter() - read_t0
+    seconds = time.perf_counter() - t0
+    committed_reads = sum(1 for o in read_outcomes if o.committed)
+    stats = [site.stats for site in cluster.sites.values()]
+    served = sum(s.view_reads_served for s in stats)
+    routed = sum(s.view_reads_routed for s in stats)
+    fallbacks = sum(s.view_read_fallbacks for s in stats)
+    batches = sum(s.view_delta_batches for s in stats)
+    coalesced = sum(s.view_deltas_coalesced for s in stats)
+    texts = [serialize_document(cluster.document_at(sid, "hot")) for sid in ("s1", "s2")]
+    shadow = cluster.sites["s3"].views.states["hot"].doc
+    texts.append(serialize_document(shadow) if shadow is not None else "")
+    digest = hashlib.sha256()
+    for text in texts:
+        digest.update(text.encode())
+    return {
+        "wall_seconds": seconds,
+        "wall_read_tx_per_s": committed_reads / max(read_seconds, 1e-9),
+        "committed_writes": sum(1 for o in write_outcomes if o.committed),
+        "committed_reads": committed_reads,
+        "view_reads_served": served,
+        "view_hit_rate": routed / max(1, routed + fallbacks),
+        "deltas_coalesced_per_batch": coalesced / max(1, batches),
+        "mean_staleness_at_serve_ms": (
+            sum(s.view_staleness_sum_ms for s in stats) / served if served else 0.0
+        ),
+        "read_phase_sim_ms": cluster.env.now - sim_t0,
+        # The regime's receipt: the read phase must be entirely lock-free
+        # and 2PC-free. Anything nonzero here is a regression.
+        "read_phase_lock_ops": (
+            sum(site.lock_manager.table.lock_ops for site in cluster.sites.values())
+            - lock_ops_before
+        ),
+        "read_phase_commit_requests": (
+            cluster.network.stats.by_kind.get("CommitRequest", 0) - commits_before
+        ),
+        "shadow_matches_primary": texts[2] == texts[0],
+        "state_digest": digest.hexdigest(),
+    }
+
+
+# ----------------------------------------------------------------------
 # trajectory assembly and canonical files
 # ----------------------------------------------------------------------
 
@@ -488,6 +585,7 @@ def run_trajectory(features_name: str = "optimized", quick: bool = False) -> dic
     contended = probe_contended(features, quick=quick)
     high_write = probe_high_write(features, quick=quick)
     quorum = probe_quorum(features, quick=quick)
+    views = probe_views(features, quick=quick)
     return {
         "schema": SCHEMA,
         "features": {"name": features_name, **features},
@@ -504,6 +602,8 @@ def run_trajectory(features_name: str = "optimized", quick: bool = False) -> dic
             "high_write_seconds": high_write["wall_seconds"],
             "quorum_seconds": quorum["wall_seconds"],
             "quorum_tx_per_s": quorum["wall_tx_per_s"],
+            "views_seconds": views["wall_seconds"],
+            "views_read_tx_per_s": views["wall_read_tx_per_s"],
         },
         "sim": {
             "macro": {k: v for k, v in macro.items() if not k.startswith("wall_")},
@@ -513,6 +613,11 @@ def run_trajectory(features_name: str = "optimized", quick: bool = False) -> dic
                 k: v
                 for k, v in quorum.items()
                 if k not in ("wall_seconds", "wall_tx_per_s")
+            },
+            "views": {
+                k: v
+                for k, v in views.items()
+                if k not in ("wall_seconds", "wall_read_tx_per_s")
             },
         },
     }
@@ -568,6 +673,15 @@ def check_regression(baseline: dict, out=sys.stdout) -> int:
     throughput metric regressed by more than the threshold.
     """
     pct = regression_threshold_pct()
+    baseline_wall = baseline.get("wall")
+    if not isinstance(baseline_wall, dict):
+        print(
+            f"bench check failed: {baseline.get('_path', 'baseline')} has no "
+            f"'wall' section — not a trajectory file (re-record with "
+            f"`python -m repro bench`)",
+            file=out,
+        )
+        return 1
     features = {
         k: v for k, v in baseline.get("features", {}).items() if k != "name"
     } or FEATURE_SETS["optimized"]
@@ -577,21 +691,30 @@ def check_regression(baseline: dict, out=sys.stdout) -> int:
         "lock_table_ops_per_s": probe_lock_table(rounds=rounds),
         "sim_events_per_s": probe_sim_kernel(rounds=rounds),
         # Kernel micro metrics gate from the first baseline that records
-        # them (BENCH_3 on); older baselines skip them via the None check.
+        # them (BENCH_3 on); older baselines without a metric get an
+        # explicit "skipped" line below rather than a silent pass.
         **{f"kernel_{k}": v for k, v in probe_kernel(rounds=rounds).items()},
         "macro_tx_per_s": probe_macro(features, params, rounds=rounds)["wall_tx_per_s"],
-        # Quorum wall throughput joins the gate from BENCH_2 on; older
-        # baselines without the metric skip it (base is None below). The
-        # probe re-runs at the baseline's own density so the comparison
-        # stays apples-to-apples, like the macro params above.
+        # Quorum wall throughput joins the gate from BENCH_2 on, the view
+        # read throughput from BENCH_4 on. Each probe re-runs at the
+        # baseline's own density so the comparison stays apples-to-apples,
+        # like the macro params above.
         "quorum_tx_per_s": probe_quorum(
             features, quick=baseline.get("quick", False)
         )["wall_tx_per_s"],
+        "views_read_tx_per_s": probe_views(
+            features, quick=baseline.get("quick", False)
+        )["wall_read_tx_per_s"],
     }
     failures = []
     for metric, now in current.items():
-        base = baseline.get("wall", {}).get(metric)
+        base = baseline_wall.get(metric)
         if base is None or base <= 0:
+            print(
+                f"  {metric}: skipped — not recorded in "
+                f"{baseline.get('_path', 'baseline')} (older schema)",
+                file=out,
+            )
             continue
         change = 100.0 * (now - base) / base
         verdict = "ok"
@@ -644,6 +767,14 @@ def render(data: dict, out=sys.stdout) -> None:
               f"{q['quorum_reads']} quorum reads "
               f"({q['read_repair_rate']:.2f} read-repair rate, "
               f"{q['read_repairs']} repairs)", file=out)
+    v = sim.get("views")
+    if v:
+        print(f"  views: {v['committed_reads']} reads committed "
+              f"(hit rate {v['view_hit_rate']:.2f}, "
+              f"{v['deltas_coalesced_per_batch']:.2f} deltas/batch, "
+              f"staleness at serve {v['mean_staleness_at_serve_ms']:.2f} ms), "
+              f"read phase: {v['read_phase_lock_ops']} lock ops, "
+              f"{v['read_phase_commit_requests']} 2PC rounds", file=out)
 
 
 def main(argv: list[str] | None = None, out=sys.stdout) -> int:

@@ -1,0 +1,330 @@
+"""Materialized-view sweep: lock-free reads off asynchronously-fed shadows.
+
+The experiment behind README § Materialized views: the same two-phase
+read-heavy scenario runs once per regime — ``locked`` (every read takes
+XDGL locks at a replica and rides the usual commit path) and ``views-<B>ms``
+cells where read-only transactions may be answered by a view host whose
+shadow is within a ``B`` ms staleness bound.
+
+Each cell runs two phases over one cluster:
+
+* ``mixed`` — writers and readers interleave. View routing already serves
+  part of the read traffic here, but a read arriving inside the
+  propagation window falls back to the locked path (the bound decides how
+  often).
+* ``readonly`` — writes stop, the shadows settle, and a pure read phase
+  follows. This is the receipt phase: under every views cell each read
+  commits **without a single lock-table operation anywhere and without a
+  single 2PC round** — the view host answers from its shadow and never
+  joins the transaction, so there is nothing to lock and nobody to
+  prepare. Both are measured as deltas over the phase and asserted zero
+  by :func:`check_views_sweep` (the locked baseline shows the cost being
+  avoided: its counters keep climbing).
+
+Requires a primary-copy write regime: the shadows are maintained from the
+primaries' committed update logs (``ViewDeltaBatch`` pushes), which the
+write-all regime does not record.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..config import SystemConfig
+from ..core.cluster import DTXCluster
+from ..core.transaction import Operation, Transaction
+from ..sim.rng import substream
+from ..update.operations import ChangeOp, InsertOp
+from ..xml.parser import parse_document
+
+
+@dataclass(frozen=True)
+class ViewsSweepParams:
+    staleness_grid: tuple = (2.0, 20.0)  # views-<B>ms cells
+    n_sites: int = 3  # data sites; the view host is one extra site on top
+    n_clients: int = 8
+    tx_per_client: int = 4
+    ops_per_tx: int = 2
+    update_ratio: float = 0.25  # mixed-phase update-transaction share
+    n_docs: int = 4
+    items_per_doc: int = 6
+    replication_factor: int = 2
+    protocol: str = "xdgl"
+    view_refresh_ms: float = 2.0
+    submit_gap_ms: float = 1.5  # pacing between submissions per phase
+    settle_ms: float = 40.0  # between phases: shadows catch up
+    seed: int | None = None  # None = the SystemConfig default
+
+    @classmethod
+    def dense(cls) -> "ViewsSweepParams":
+        return cls(
+            staleness_grid=(2.0, 10.0, 50.0),
+            n_clients=12,
+            tx_per_client=6,
+            n_docs=6,
+        )
+
+    @classmethod
+    def from_env(cls) -> "ViewsSweepParams":
+        """``REPRO_FULL=1`` selects the denser sweep."""
+        return cls.dense() if os.environ.get("REPRO_FULL") == "1" else cls()
+
+    def regimes(self) -> list[str]:
+        return ["locked"] + [f"views-{b:g}ms" for b in self.staleness_grid]
+
+
+PHASES = ("mixed", "readonly")
+
+
+@dataclass
+class ViewsSweepResult:
+    params: ViewsSweepParams = field(default_factory=ViewsSweepParams)
+    cells: dict = field(default_factory=dict)  # (regime, phase) -> metrics
+
+    def metric(self, regime: str, phase: str, name: str):
+        return self.cells[(regime, phase)][name]
+
+    def render(self, metric: str = "committed", fmt: str = "{:10.2f}") -> str:
+        lines = [
+            f"views sweep — {metric} "
+            f"(refresh every {self.params.view_refresh_ms} ms)",
+            "regime \\ phase  " + "  ".join(f"{p:>10s}" for p in PHASES),
+        ]
+        for regime in self.params.regimes():
+            row = [f"{regime:>14s}"]
+            for phase in PHASES:
+                row.append(fmt.format(self.cells[(regime, phase)][metric]))
+            lines.append("  ".join(row))
+        return "\n".join(lines)
+
+
+def _make_docs(params: ViewsSweepParams) -> list:
+    docs = []
+    for d in range(params.n_docs):
+        items = "".join(
+            f"<item><id>{i}</id><price>{(i + 1) * 10}</price></item>"
+            for i in range(params.items_per_doc)
+        )
+        docs.append(parse_document(f"<catalog>{items}</catalog>", name=f"d{d + 1}"))
+    return docs
+
+
+def _read_tx(rng, params: ViewsSweepParams, label: str) -> Transaction:
+    ops = []
+    for _ in range(params.ops_per_tx):
+        doc = f"d{rng.randrange(params.n_docs) + 1}"
+        # Both shapes are subsumed by the registered //item pattern.
+        path = rng.choice(("/catalog/item", "//item"))
+        ops.append(Operation.query(doc, path))
+    return Transaction(ops, label=label)
+
+
+def _write_tx(rng, params: ViewsSweepParams, label: str, fresh_id: int) -> Transaction:
+    doc = f"d{rng.randrange(params.n_docs) + 1}"
+    if rng.random() < 0.5:
+        op = Operation.update(
+            doc,
+            ChangeOp(
+                f"/catalog/item[id={rng.randrange(params.items_per_doc)}]/price",
+                rng.randrange(10, 1000),
+            ),
+        )
+    else:
+        op = Operation.update(
+            doc,
+            InsertOp(
+                f"<item><id>{fresh_id}</id><price>{rng.randrange(10, 1000)}</price></item>",
+                "/catalog",
+            ),
+        )
+    return Transaction([op], label=label)
+
+
+def _counters(cluster) -> dict:
+    sites = cluster.sites.values()
+    return {
+        "lock_ops": sum(s.lock_manager.table.lock_ops for s in sites),
+        "commit_requests": cluster.network.stats.by_kind.get("CommitRequest", 0),
+        "served": sum(s.stats.view_reads_served for s in sites),
+        "routed": sum(s.stats.view_reads_routed for s in sites),
+        "fallbacks": sum(s.stats.view_read_fallbacks for s in sites),
+        "staleness_sum": sum(s.stats.view_staleness_sum_ms for s in sites),
+    }
+
+
+def _run_phase(cluster, txs, gap_ms: float) -> list:
+    """Submit ``txs`` round-robin at their home sites, paced ``gap_ms`` apart."""
+    outcomes: list = []
+    for tx, home in txs:
+        cluster.sites[home].submit(tx, outcomes.append)
+        cluster.env.run(until=cluster.env.now + gap_ms)
+    # Drain: every submission must reach a terminal state.
+    deadline = cluster.env.now + 2000.0
+    while len(outcomes) < len(txs) and cluster.env.now < deadline:
+        cluster.env.run(until=cluster.env.now + 10.0)
+    return outcomes
+
+
+def _run_cell(params: ViewsSweepParams, regime: str) -> dict:
+    bound = 0.0 if regime == "locked" else float(regime[len("views-"):-2])
+    system = SystemConfig().with_(
+        replica_write_policy="primary",
+        replica_read_policy="primary",
+        view_staleness_ms=bound,
+        view_refresh_ms=params.view_refresh_ms,
+        lock_wait_timeout_ms=200.0,
+        max_restarts=2,
+        **({"seed": params.seed} if params.seed is not None else {}),
+    )
+    data_sites = [f"s{i + 1}" for i in range(params.n_sites)]
+    view_host = "v1"
+    cluster = DTXCluster(protocol=params.protocol, config=system)
+    for sid in (*data_sites, view_host):
+        cluster.add_site(sid)
+    docs = _make_docs(params)
+    for i, doc in enumerate(docs):
+        owners = [
+            data_sites[(i + k) % len(data_sites)]
+            for k in range(params.replication_factor)
+        ]
+        cluster.replicate_document(doc, owners)
+    if regime != "locked":
+        for doc in docs:
+            cluster.register_view(f"v-{doc.name}", "//item", [doc.name], host=view_host)
+    cluster.start()
+    cluster.env.run(until=10.0)  # initial hydration settles
+
+    seed = system.seed
+    rng = substream(seed, "views-sweep", regime)
+    total_tx = params.n_clients * params.tx_per_client
+    n_writes = round(total_tx * params.update_ratio)
+
+    def home(i: int) -> str:
+        return data_sites[i % len(data_sites)]
+
+    mixed: list = []
+    fresh_id = 1000
+    for i in range(total_tx):
+        if i % max(1, total_tx // max(1, n_writes)) == 0 and n_writes:
+            fresh_id += 1
+            mixed.append((_write_tx(rng, params, f"w{i}", fresh_id), home(i)))
+        else:
+            mixed.append((_read_tx(rng, params, f"r{i}"), home(i)))
+
+    cells: dict = {}
+    for phase in PHASES:
+        if phase == "readonly":
+            # Writes stop; give the shadows a settle window to catch up.
+            cluster.env.run(until=cluster.env.now + params.settle_ms)
+            txs = [
+                (_read_tx(rng, params, f"p{i}"), home(i)) for i in range(total_tx)
+            ]
+        else:
+            txs = mixed
+        before = _counters(cluster)
+        t0 = cluster.env.now
+        outcomes = _run_phase(cluster, txs, params.submit_gap_ms)
+        after = _counters(cluster)
+        duration_s = max(cluster.env.now - t0, 1e-9) / 1000.0
+        committed = [o for o in outcomes if o.status == "committed"]
+        reads = [t for t, _ in txs if not t.is_update_transaction]
+        served = after["served"] - before["served"]
+        routed = after["routed"] - before["routed"]
+        fallbacks = after["fallbacks"] - before["fallbacks"]
+        cells[phase] = {
+            "committed": len(committed),
+            "aborted": len([o for o in outcomes if o.status == "aborted"]),
+            "failed": len([o for o in outcomes if o.status == "failed"]),
+            "expected": len(txs),
+            "read_tx": len(reads),
+            "tx_per_s": len(committed) / duration_s,
+            "response_ms": (
+                sum(o.finished_ts - o.submitted_ts for o in committed)
+                / len(committed)
+                if committed
+                else 0.0
+            ),
+            "view_served": served,
+            "view_fallbacks": fallbacks,
+            "view_hit_rate": routed / max(1, routed + fallbacks),
+            "staleness_ms": (
+                (after["staleness_sum"] - before["staleness_sum"]) / served
+                if served
+                else 0.0
+            ),
+            "lock_ops": after["lock_ops"] - before["lock_ops"],
+            "commit_requests": after["commit_requests"] - before["commit_requests"],
+        }
+    return cells
+
+
+def views_sweep(params: ViewsSweepParams | None = None) -> ViewsSweepResult:
+    """Run the regime x phase grid; one two-phase scenario per regime."""
+    params = params or ViewsSweepParams.from_env()
+    out = ViewsSweepResult(params=params)
+    for regime in params.regimes():
+        for phase, metrics in _run_cell(params, regime).items():
+            out.cells[(regime, phase)] = metrics
+    return out
+
+
+def check_views_sweep(result: ViewsSweepResult) -> list[str]:
+    """Shape checks: the receipt — view-served reads take no locks, run no 2PC."""
+    notes: list[str] = []
+    params = result.params
+    for (regime, phase), cell in result.cells.items():
+        assert cell["committed"] + cell["aborted"] + cell["failed"] == cell["expected"], (
+            f"{regime}/{phase}: {cell['expected']} submitted, "
+            f"{cell['committed'] + cell['aborted'] + cell['failed']} resolved"
+        )
+        assert cell["committed"] > 0, f"{regime}/{phase}: nothing committed"
+        if regime == "locked":
+            assert cell["view_served"] == 0, (
+                f"locked/{phase}: {cell['view_served']} reads view-served with "
+                "views off"
+            )
+            assert cell["lock_ops"] > 0, (
+                f"locked/{phase}: the baseline took no locks — nothing to compare"
+            )
+    for bound in params.staleness_grid:
+        regime = f"views-{bound:g}ms"
+        ro = result.cells[(regime, "readonly")]
+        # The headline receipt: after the shadows settle, every read is
+        # answered by the view host — zero lock-table operations at any
+        # site and zero 2PC rounds for the whole phase.
+        assert ro["committed"] == ro["expected"], (
+            f"{regime}/readonly: only {ro['committed']}/{ro['expected']} committed"
+        )
+        assert ro["view_hit_rate"] == 1.0, (
+            f"{regime}/readonly: hit rate {ro['view_hit_rate']:.2f} < 1.0"
+        )
+        assert ro["lock_ops"] == 0, (
+            f"{regime}/readonly: {ro['lock_ops']} lock-table operations "
+            "during a phase that should be entirely view-served"
+        )
+        assert ro["commit_requests"] == 0, (
+            f"{regime}/readonly: {ro['commit_requests']} CommitRequests "
+            "during a phase that should involve no 2PC at all"
+        )
+        assert ro["staleness_ms"] <= bound, (
+            f"{regime}/readonly: mean staleness at serve "
+            f"{ro['staleness_ms']:.2f} ms exceeds the {bound:g} ms bound"
+        )
+        mixed = result.cells[(regime, "mixed")]
+        assert mixed["view_served"] + mixed["view_fallbacks"] > 0, (
+            f"{regime}/mixed: no read was ever considered for view routing"
+        )
+    locked_ro = result.cells[("locked", "readonly")]
+    sample = result.cells[(f"views-{params.staleness_grid[-1]:g}ms", "readonly")]
+    notes.append(
+        f"readonly phase: locked baseline {locked_ro['lock_ops']} lock ops / "
+        f"{locked_ro['commit_requests']} CommitRequests vs views 0 / 0 "
+        f"({sample['view_served']} reads served from shadows, "
+        f"mean staleness {sample['staleness_ms']:.2f} ms)"
+    )
+    notes.append(
+        f"{len(result.cells)} cells; every views readonly phase hit rate 1.0 "
+        "with zero primary lock-table operations and zero 2PC participation"
+    )
+    return notes

@@ -203,8 +203,10 @@ class _Parser:
 # Parsed-expression memo. Workloads re-submit the same path strings over
 # and over (templates, and every wait/retry attempt of a blocked operation
 # re-parses its payload), and a LocationPath is a tree of frozen dataclasses
-# — safe to share between arbitrarily many evaluations. Bounded so a
-# pathological stream of distinct expressions cannot grow it without limit.
+# — safe to share between arbitrarily many evaluations. LRU: a hit moves
+# the entry to the back of the (insertion-ordered) dict, a miss at capacity
+# evicts the front, so a stream of distinct expressions sheds the coldest
+# entry instead of dumping the whole working set.
 _PARSE_CACHE: dict[str, LocationPath] = {}
 _PARSE_CACHE_MAX = 4096
 _parse_cache_hits = 0
@@ -230,8 +232,9 @@ def parse_xpath(expr: str) -> LocationPath:
     supported subset.
     """
     global _parse_cache_hits, _parse_cache_misses
-    cached = _PARSE_CACHE.get(expr)
+    cached = _PARSE_CACHE.pop(expr, None)
     if cached is not None:
+        _PARSE_CACHE[expr] = cached  # re-insert at the back: most recent
         _parse_cache_hits += 1
         return cached
     if not expr or not expr.strip():
@@ -239,6 +242,6 @@ def parse_xpath(expr: str) -> LocationPath:
     path = _Parser(tokenize(expr), expr).parse_path()
     _parse_cache_misses += 1
     if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
-        _PARSE_CACHE.clear()  # crude but rare: one miss burst, no growth
+        del _PARSE_CACHE[next(iter(_PARSE_CACHE))]  # evict least recent
     _PARSE_CACHE[expr] = path
     return path
