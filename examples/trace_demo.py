@@ -1,0 +1,78 @@
+"""Trace a contended workload under broadcast vs targeted lock wake-ups.
+
+The paper's lock manager wakes *every* waiter whenever any transaction
+ends (``wake_policy="broadcast"``); the ``"targeted"`` policy wakes only
+waiters whose requested (key, mode) pairs actually conflict with what
+was released. Throughput tables barely show the difference — the same
+transactions commit either way — but a latency decomposition does: this
+demo traces the same disjoint-hot-group workload (writer groups that
+conflict internally but never with each other, so every broadcast wake
+is pure waste for the other groups) under both policies and diffs the
+per-transaction critical path. Mean lock-wait milliseconds per
+committed transaction drop visibly under targeted wake-ups, and the
+response-time mean and p95 drop with them.
+
+Run:  python examples/trace_demo.py
+"""
+
+from repro.experiments.trajectory import _build_contended
+from repro.obs import (
+    critical_path_report,
+    diff_reports,
+    render_diff,
+    render_report,
+    span_forest_errors,
+)
+from repro.obs.critical_path import PHASES
+
+# Disjoint writer groups hammering one document through remote
+# coordinators: heavy genuine lock waiting inside each group, zero
+# genuine conflict between groups — the regime broadcast wakes punish.
+SHAPE = dict(groups=16, clients_per_group=8, tx_per_client=2, ops_per_tx=8)
+
+
+def main() -> None:
+    reports = {}
+    for policy in ("broadcast", "targeted"):
+        cluster = _build_contended(
+            dict(wake_policy=policy, tracing=True), **SHAPE
+        )
+        result = cluster.run()
+        errors = span_forest_errors(result.spans)
+        assert not errors, errors[:5]
+        report = critical_path_report(result.spans, per_tx_limit=0)
+        reports[policy] = report
+        print(f"\n=== wake_policy={policy} "
+              f"({len(result.spans)} spans, {result.duration_ms:.1f} sim-ms) ===")
+        for line in render_report(report, title=f"critical path ({policy})"):
+            print(line)
+
+    print()
+    diff = diff_reports(reports["broadcast"], reports["targeted"])
+    for line in render_diff(diff, label_a="broadcast", label_b="targeted"):
+        print(line)
+
+    # Shares barely move — everything shrinks together — so the headline
+    # is the absolute decomposition: mean milliseconds per committed
+    # transaction spent in each phase (duration-weighted share x mean).
+    print("\nmean ms per committed tx (broadcast -> targeted):")
+    a, b = reports["broadcast"], reports["targeted"]
+    for phase in PHASES:
+        ms_a = a["phase_share"][phase] * a["mean_ms"]
+        ms_b = b["phase_share"][phase] * b["mean_ms"]
+        if max(ms_a, ms_b) < 0.05:
+            continue
+        pct = (ms_b - ms_a) / ms_a * 100.0 if ms_a else 0.0
+        print(f"  {phase:<10} {ms_a:8.2f} -> {ms_b:8.2f}  ({pct:+.0f}%)")
+
+    wait_a = a["phase_share"]["lock_wait"] * a["mean_ms"]
+    wait_b = b["phase_share"]["lock_wait"] * b["mean_ms"]
+    print(
+        f"\nlock wait per committed tx: {wait_a:.1f} ms -> {wait_b:.1f} ms "
+        f"({(wait_b - wait_a) / wait_a * 100.0:+.0f}%) under targeted "
+        f"wake-ups; response mean {a['mean_ms']:.1f} -> {b['mean_ms']:.1f} ms."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,8 @@ Usage::
     python -m repro views                   # materialized views vs the locked read path
     python -m repro bench                   # trajectory harness -> BENCH_<n>.json
     python -m repro bench --check           # wall-clock regression gate (CI)
+    python -m repro trace                   # traced replay -> trace.json + critical path
+    python -m repro trace --diff A.json B.json  # compare two traces' breakdowns
 
 The sweep subcommands (replication, availability, partitions, quorum,
 scale, views) share one flag surface: ``--full`` (denser grid), ``--sites`` /
@@ -484,11 +486,24 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         "or, with --check, the wall-clock regression gate",
     )
 
+    # Same pattern for the tracer: repro.obs.cli owns the trace flags.
+    sub.add_parser(
+        "trace",
+        add_help=False,
+        help="replay a workload with causal tracing on; writes a "
+        "Chrome-trace JSON and prints the critical-path breakdown "
+        "(--diff compares two trace files)",
+    )
+
     args_list = list(argv) if argv is not None else sys.argv[1:]
     if args_list[:1] == ["bench"]:
         from .experiments.trajectory import main as bench_main
 
         return bench_main(args_list[1:], out=out)
+    if args_list[:1] == ["trace"]:
+        from .obs.cli import trace_main
+
+        return trace_main(args_list[1:], out=out)
 
     args = parser.parse_args(argv)
     if args.command == "figures":

@@ -216,6 +216,15 @@ class SystemConfig:
         beacon for idle documents). The effective view lag is roughly one
         period plus network latency, so ``view_staleness_ms`` should
         comfortably exceed this.
+    tracing:
+        Record causally-linked spans (``repro.obs``) across the whole
+        transaction lifecycle: client submit, per-operation coordinator
+        rounds, lock waits, participant execution, message transfers,
+        2PC rounds, replica sync, view serves, elections, catch-up and
+        detector sweeps. Pure wall-clock instrumentation: no messages,
+        no RNG draws, no simulated delays are added, so schedules and
+        state digests are byte-identical with tracing on or off (and the
+        off path is a single attribute check — zero allocation).
     """
 
     network: NetworkConfig = field(default_factory=NetworkConfig)
@@ -248,6 +257,7 @@ class SystemConfig:
     election_timeout_ms: float = 4.0
     view_staleness_ms: float = 0.0
     view_refresh_ms: float = 2.0
+    tracing: bool = False
 
     def validate(self) -> None:
         self.network.validate()

@@ -23,6 +23,7 @@ from ..distribution.allocation import Allocation
 from ..distribution.catalog import Catalog, CatalogView
 from ..distribution.replication import ReplicationPolicy
 from ..errors import ConfigError
+from ..obs import Tracer
 from ..protocols import ConcurrencyProtocol, make_protocol
 from ..sim.environment import Environment
 from ..sim.network import Network
@@ -71,6 +72,12 @@ class DTXCluster:
         # recycle loop only closes when all sites of a run share a pool.
         # Per-run (never global) so pooling cannot couple two runs.
         self.message_pool = MessagePool() if self.config.message_pool else None
+        # One span recorder per cluster run (config.tracing): span ids
+        # migrate between sites inside messages, so all sites of a run must
+        # share the tracer — and, like the pool, it is per-run, never
+        # global. ``None`` keeps every instrumentation point a single falsy
+        # attribute check (the zero-allocation off path).
+        self.tracer = Tracer() if self.config.tracing else None
 
     # -- construction ------------------------------------------------------
 
@@ -102,6 +109,7 @@ class DTXCluster:
             pool=self.message_pool,
         )
         site.faults = self.faults
+        site.tracer = self.tracer
         self.sites[site_id] = site
         for doc in documents:
             self.host_document(site_id, doc)
@@ -212,6 +220,11 @@ class DTXCluster:
         if self.detector is not None:
             result.detector_sweeps = self.detector.stats.sweeps
             result.distributed_deadlocks = self.detector.stats.deadlocks_found
+        if self.tracer is not None:
+            # Clip spans left open by crashes/partitions to the run end so
+            # exports and analysis see finite intervals.
+            self.tracer.finish(self.env.now)
+            result.spans = self.tracer.spans
         return result
 
     # -- online migration --------------------------------------------------

@@ -159,6 +159,16 @@ class CoordinatorRecord:
     # sites dropped from the current ack round because they crashed
     down_acks: set = field(default_factory=set)
 
+    # Open span ids at this coordinator (repro.obs, config.tracing): the
+    # transaction's root span, the current operation round's span, and the
+    # current operation's blocked-period span (one lock_wait span per
+    # blocked period — it is *extended* across spurious wakes and retry
+    # rounds rather than re-opened, so wasted wake churn reads as lock
+    # wait, not coordinator work). All stay 0 when tracing is off.
+    root_span: int = 0
+    op_span: int = 0
+    wait_span: int = 0
+
     def drop_site_from_acks(self, down) -> bool:
         """Remove a crashed site's outstanding ack keys; True if any were."""
         stale = {

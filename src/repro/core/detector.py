@@ -64,6 +64,19 @@ class DeadlockDetector:
             yield self.env.timeout(self.config.detector_interval_ms)
 
     def _sweep(self):
+        tr = self.site.tracer
+        if tr is None:
+            return (yield from self._sweep_inner())
+        # Sweeps poll every site's wait-for graph: global span (parent 0).
+        sid = tr.begin(
+            "detector_sweep", "deadlock", self.site.site_id, 0, self.env.now
+        )
+        try:
+            return (yield from self._sweep_inner())
+        finally:
+            tr.end(sid, self.env.now)
+
+    def _sweep_inner(self):
         self.stats.sweeps += 1
         # Local graph is read directly; remote graphs are requested from the
         # *live* sites (Alg. 4 l. 4); a site crashing mid-collection is
@@ -97,5 +110,12 @@ class DeadlockDetector:
         victim = newest_transaction(cycle)
         self.stats.deadlocks_found += 1
         self.stats.victims.append(victim)
+        tr = self.site.tracer
+        if tr is not None:
+            now = self.env.now
+            tr.add(
+                "deadlock_victim", "deadlock", self.site.site_id, 0, now, now,
+                {"tx": str(victim), "cycle": str(len(cycle))},
+            )
         # The victim's coordinator lives at the site that assigned its TxId.
         self.network.send(self.site.site_id, victim.site, AbortOrder(tid=victim))

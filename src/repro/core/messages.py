@@ -35,6 +35,10 @@ class RemoteOpRequest:
     op: Operation
     attempt: int  # retry counter; stale replies are dropped by attempt
     incarnation: int = 0
+    # Parent span id (repro.obs, config.tracing): bookkeeping, not modeled
+    # wire payload — excluded from size_bytes so traced and untraced runs
+    # charge identical network costs.
+    span: int = 0
 
     def size_bytes(self) -> int:
         return _HEADER_BYTES + self.op.payload_size()
@@ -73,6 +77,7 @@ class UndoOpRequest:
     coordinator: Hashable
     op_index: int
     attempt: int
+    span: int = 0  # parent span id (repro.obs); never counted in size_bytes
 
     def size_bytes(self) -> int:
         return _HEADER_BYTES + 8
@@ -95,6 +100,7 @@ class CommitRequest:
 
     tid: TxId
     coordinator: Hashable
+    span: int = 0  # parent span id (repro.obs); never counted in size_bytes
 
     def size_bytes(self) -> int:
         return _HEADER_BYTES
@@ -116,6 +122,7 @@ class AbortRequest:
 
     tid: TxId
     coordinator: Hashable
+    span: int = 0  # parent span id (repro.obs); never counted in size_bytes
 
     def size_bytes(self) -> int:
         return _HEADER_BYTES
@@ -161,6 +168,7 @@ class ReplicaSyncRequest:
     epoch: int = 0
     log_only: bool = False
     ops: list = field(default_factory=list)  # executed update Operations
+    span: int = 0  # parent span id (repro.obs); never counted in size_bytes
 
     def size_bytes(self) -> int:
         return _HEADER_BYTES + 24 + sum(op.payload_size() for op in self.ops)
@@ -200,6 +208,7 @@ class ReplicaSyncBatch:
     batch_id: int
     log_only: bool = False
     entries: list = field(default_factory=list)  # UpdateLogEntry, LSN order
+    span: int = 0  # parent span id (repro.obs); never counted in size_bytes
 
     def size_bytes(self) -> int:
         return _HEADER_BYTES + 16 + sum(e.payload_size() for e in self.entries)
@@ -609,6 +618,7 @@ class ViewReadRequest:
     read_id: int
     epoch: int
     bound_ms: float
+    span: int = 0  # parent span id (repro.obs); never counted in size_bytes
 
     def size_bytes(self) -> int:
         return _HEADER_BYTES + self.op.payload_size()

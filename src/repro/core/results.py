@@ -28,6 +28,9 @@ class RunResult:
     promotions: int = 0  # primary failovers performed by the fault manager
     protocol: str = ""
     label: str = ""
+    # Span forest recorded by the run's Tracer (config.tracing only;
+    # empty otherwise). Shared with the cluster's tracer, not copied.
+    spans: list = field(default_factory=list)
 
     # -- aggregation -----------------------------------------------------
 

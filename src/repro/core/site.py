@@ -21,6 +21,7 @@ All CPU work is charged to the simulated clock through the cost model in
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Optional
 
@@ -230,6 +231,40 @@ class SiteStats:
     view_staleness_sum_ms: float = 0.0  # summed staleness at serve time
 
 
+#: SiteStats fields that are *snapshots* of process- or cluster-global
+#: counters (the message pool and the XPath parse memo) or high-water
+#: marks: run totals take the max across sites, never the sum.
+SNAPSHOT_STAT_FIELDS = frozenset(
+    {
+        "pool_hits",
+        "pool_misses",
+        "parse_cache_hits",
+        "parse_cache_misses",
+        "peak_lock_count",
+    }
+)
+
+
+def aggregate_site_stats(stats) -> dict:
+    """Cluster-wide totals for every :class:`SiteStats` field.
+
+    Driven by ``dataclasses.fields`` so a new counter automatically shows
+    up in every report built on this — reporting code must not hand-copy
+    the field list (it silently drifts when fields are added). Snapshot
+    and high-water fields (:data:`SNAPSHOT_STAT_FIELDS`) aggregate as the
+    max across sites; everything else sums.
+    """
+    stats = list(stats)
+    totals: dict = {}
+    for f in dataclasses.fields(SiteStats):
+        values = [getattr(s, f.name) for s in stats]
+        if f.name in SNAPSHOT_STAT_FIELDS:
+            totals[f.name] = max(values, default=0)
+        else:
+            totals[f.name] = sum(values)
+    return totals
+
+
 class DTXSite:
     def __init__(
         self,
@@ -287,6 +322,10 @@ class DTXSite:
         self._tx_seq = 0
         self.stats = SiteStats()
         self.detector = None  # attached by the cluster on one site
+        # Span recorder (repro.obs), shared cluster-wide and attached by
+        # the cluster when config.tracing is on. None keeps every
+        # instrumentation point a single falsy attribute check.
+        self.tracer = None
         # Recycle pool for the highest-volume messages, shared by the whole
         # cluster run (requests and results migrate between sites). A
         # standalone site gets its own; ``message_pool=False`` disables
@@ -615,6 +654,26 @@ class DTXSite:
                 )
             )
             return
+        tr = self.tracer
+        if tr is not None:
+            # Root span of the whole transaction tree. It closes when the
+            # outcome is delivered to the client — on *any* path (commit,
+            # abort, fail, coordinator crash) — by wrapping the deliver
+            # callback, so crash-time deliveries close it too.
+            sid = tr.begin(
+                "tx", "tx", self.site_id, 0, self.env.now,
+                {"site": str(self.site_id)},
+            )
+            tx._trace_root = sid
+            inner_deliver = deliver
+
+            def deliver(outcome, _tr=tr, _sid=sid, _inner=inner_deliver):
+                _tr.set_label(_sid, "status", outcome.status)
+                if outcome.reason:
+                    _tr.set_label(_sid, "reason", outcome.reason)
+                _tr.end(_sid, self.env.now)
+                _inner(outcome)
+
         self.inbox.put(ClientRequest(transaction=tx))
         tx._deliver = deliver  # stashed until the coordinator record exists
 
@@ -1087,6 +1146,8 @@ class DTXSite:
                     pool.release(req)
                 continue
             coordinator = req.coordinator
+            tr = self.tracer
+            exec_start = self.env.now if tr is not None else 0.0
             result = self._execute_operation(req.tid, coordinator, req.op)
             self.stats.remote_ops_served += 1
             self.stats.parse_cache_hits, self.stats.parse_cache_misses = (
@@ -1094,6 +1155,14 @@ class DTXSite:
             )
             if result.cost_ms:
                 yield result.cost_ms
+            if tr is not None:
+                labels = {"doc": req.op.doc_name, "site": str(self.site_id)}
+                if not result.acquired:
+                    labels["blocked"] = "1"
+                tr.add(
+                    "exec", "exec", self.site_id, tr.live_parent(req.span),
+                    exec_start, self.env.now, labels,
+                )
             if pool is None:
                 reply = RemoteOpResult(
                     tid=req.tid,
@@ -1121,11 +1190,20 @@ class DTXSite:
                     result_size=result.result_size,
                     stale=result.stale,
                 )
+                req_span = req.span
                 pool.release(req)  # fully consumed: recycle (req is dead now)
                 stats = self.stats
                 stats.pool_hits = pool.hits
                 stats.pool_misses = pool.misses
-            self.network.send(self.site_id, coordinator, reply)
+                delay = self.network.send(self.site_id, coordinator, reply)
+                if tr is not None:
+                    tr.add_flight("reply", "net", self.site_id, tr.live_parent(req_span),
+                           self.env.now, self.env.now + delay)
+                continue
+            delay = self.network.send(self.site_id, coordinator, reply)
+            if tr is not None:
+                tr.add_flight("reply", "net", self.site_id, tr.live_parent(req.span),
+                       self.env.now, self.env.now + delay)
 
     def _handle_undo_request(self, msg: UndoOpRequest):
         if not self.alive:
@@ -1159,9 +1237,17 @@ class DTXSite:
             yield (0)
             self._send_sync_ack(msg, ok=False, reason="refused")
             return
+        tr = self.tracer
+        apply_start = self.env.now if tr is not None else 0.0
         result = yield from self._ingest_sync_entry(
             msg.doc_name, msg.tid, msg.lsn, msg.epoch, msg.ops, msg.log_only
         )
+        if tr is not None:
+            tr.add(
+                "sync_apply", "sync", self.site_id, tr.live_parent(msg.span),
+                apply_start, self.env.now,
+                {"doc": msg.doc_name, "site": str(self.site_id)},
+            )
         if result is None:
             return  # crashed mid-ingest: no ack (senders recover via site-down)
         ok, reason, lsn = result
@@ -1177,6 +1263,8 @@ class DTXSite:
         """
         if self._maybe_crash("sync-recv"):
             return
+        tr = self.tracer
+        apply_start = self.env.now if tr is not None else 0.0
         results: dict = {}
         assigned: dict = {}
         for entry in sorted(msg.entries, key=lambda e: e.lsn):
@@ -1197,6 +1285,13 @@ class DTXSite:
             results[entry.tid] = (ok, reason)
             if ok and entry.lsn == 0:
                 assigned[entry.tid] = lsn  # primary-assigned (quorum path)
+        if tr is not None:
+            tr.add(
+                "sync_apply", "sync", self.site_id, tr.live_parent(msg.span),
+                apply_start, self.env.now,
+                {"doc": msg.doc_name, "site": str(self.site_id),
+                 "entries": str(len(msg.entries))},
+            )
         self.network.send(
             self.site_id,
             msg.coordinator,
@@ -1559,6 +1654,10 @@ class DTXSite:
         tx.stats.started_ts = self.env.now
         deliver = getattr(tx, "_deliver", lambda outcome: None)
         rec = CoordinatorRecord(tx=tx, tid=tid, deliver=deliver)
+        if self.tracer is not None:
+            rec.root_span = getattr(tx, "_trace_root", 0)
+            if rec.root_span:
+                self.tracer.set_label(rec.root_span, "tx", str(tid))
         self.coordinators[tid] = rec
         self.stats.coordinated += 1
 
@@ -1604,6 +1703,23 @@ class DTXSite:
         )
 
     def _run_operation(self, rec: CoordinatorRecord, op: Operation):
+        tr = self.tracer
+        if tr is None:
+            return (yield from self._run_operation_rounds(rec, op))
+        # One span per client operation, covering every retry round; the
+        # try/finally closes it on _AbortTx/_SiteCrashed unwinds too.
+        rec.op_span = tr.begin(
+            "op", "op", self.site_id, rec.root_span, self.env.now,
+            {"doc": op.doc_name, "index": str(op.index), "kind": op.kind.name},
+        )
+        try:
+            return (yield from self._run_operation_rounds(rec, op))
+        finally:
+            tr.end(rec.op_span, self.env.now)
+            rec.op_span = 0
+            rec.wait_span = 0
+
+    def _run_operation_rounds(self, rec: CoordinatorRecord, op: Operation):
         tx = rec.tx
         while True:
             self._check_alive()
@@ -1706,7 +1822,14 @@ class DTXSite:
                         tid=rec.tid, coordinator=self.site_id, op=op,
                         attempt=rec.attempt, incarnation=self.incarnation,
                     )
-                self.network.send(self.site_id, site, req)
+                tr = self.tracer
+                if tr is not None:
+                    req.span = rec.op_span
+                delay = self.network.send(self.site_id, site, req)
+                if tr is not None:
+                    tr.add_flight("send", "net", self.site_id, rec.op_span,
+                           self.env.now, self.env.now + delay,
+                           {"dst": str(site)})
             if self.membership is None:
                 results = yield rec.response_event
             else:
@@ -1764,6 +1887,7 @@ class DTXSite:
                         UndoOpRequest(
                             tid=rec.tid, coordinator=self.site_id,
                             op_index=op.index, attempt=rec.attempt,
+                            span=rec.op_span,
                         ),
                     )
                 yield from self._await_acks(rec)
@@ -1797,6 +1921,30 @@ class DTXSite:
             tx.state = TxState.ACTIVE
 
     def _wait_for_wake(self, rec: CoordinatorRecord):
+        tr = self.tracer
+        if tr is None:
+            return (yield from self._wait_for_wake_inner(rec))
+        # One lock_wait span per blocked period: the first wait of an
+        # operation opens it, and every later wait of the same operation
+        # *extends* it (a broadcast wake that cannot be satisfied is still
+        # time spent waiting for the lock — chopping the period into
+        # per-wait spans would misread that churn as coordinator work).
+        sid = rec.wait_span
+        if not sid or tr.get(sid).parent != rec.op_span:
+            op_span = tr.get(rec.op_span) if rec.op_span else None
+            doc = op_span.label("doc") if op_span is not None else None
+            labels = {"doc": doc} if doc else None
+            sid = tr.begin(
+                "lock_wait", "lock_wait", self.site_id, rec.op_span,
+                self.env.now, labels,
+            )
+            rec.wait_span = sid
+        try:
+            return (yield from self._wait_for_wake_inner(rec))
+        finally:
+            tr.get(sid).end = self.env.now  # extend past earlier closes
+
+    def _wait_for_wake_inner(self, rec: CoordinatorRecord):
         if rec.wake_pending or rec.abort_requested:
             rec.wake_pending = False
             return
@@ -1993,6 +2141,22 @@ class DTXSite:
             self.nudge_catch_up(msg.doc_name)
 
     def _sync_replicas(self, rec: CoordinatorRecord):
+        tr = self.tracer
+        if tr is None:
+            return (yield from self._sync_replicas_inner(rec))
+        saved = rec.op_span
+        sid = tr.begin(
+            "replica_sync", "sync", self.site_id,
+            rec.op_span or rec.root_span, self.env.now,
+        )
+        rec.op_span = sid  # nested sync sends parent here
+        try:
+            return (yield from self._sync_replicas_inner(rec))
+        finally:
+            tr.end(sid, self.env.now)
+            rec.op_span = saved
+
+    def _sync_replicas_inner(self, rec: CoordinatorRecord):
         """Commit-time replica synchronization (eager and quorum regimes).
 
         Runs at the top of the commit procedure, while the primary's locks
@@ -2175,8 +2339,15 @@ class DTXSite:
                     else None
                 ),
             )
+            tr = self.tracer
             for target, msg in primary_sends:
-                self.network.send(self.site_id, target, msg)
+                if tr is not None:
+                    msg.span = rec.op_span
+                delay = self.network.send(self.site_id, target, msg)
+                if tr is not None:
+                    tr.add_flight("send", "net", self.site_id, rec.op_span,
+                           self.env.now, self.env.now + delay,
+                           {"dst": str(target)})
             acks = yield from self._await_acks(rec)
             rec.phase = ""
             self._check_alive()
@@ -2247,8 +2418,15 @@ class DTXSite:
             # Eager: every live secondary's ack is awaited (the client
             # sees the commit only once all of them hold the batch).
             self._collect_acks(rec, "sync", sec_keys, quorum=goal)
+            tr = self.tracer
             for target, msg in sec_sends:
-                self.network.send(self.site_id, target, msg)
+                if tr is not None:
+                    msg.span = rec.op_span
+                delay = self.network.send(self.site_id, target, msg)
+                if tr is not None:
+                    tr.add_flight("send", "net", self.site_id, rec.op_span,
+                           self.env.now, self.env.now + delay,
+                           {"dst": str(target)})
             acks = yield from self._await_acks(rec)
             rec.phase = ""
             self._check_alive()
@@ -2375,21 +2553,37 @@ class DTXSite:
             tids=[entry.tid for entry in entries],
         )
         self._sync_batches[batch_id] = state
-        for site, log_only in targets:
-            self.network.send(
-                self.site_id,
-                site,
-                ReplicaSyncBatch(
-                    coordinator=self.site_id, doc_name=doc_name,
-                    batch_id=batch_id, log_only=log_only, entries=list(entries),
-                ),
+        tr = self.tracer
+        # A batch round aggregates several transactions' entries, so its
+        # span is a *global* one (parent 0): it cannot belong to any
+        # single transaction's tree.
+        batch_span = (
+            tr.begin(
+                "batch_round", "sync", self.site_id, 0, self.env.now,
+                {"doc": doc_name, "entries": str(len(entries))},
             )
+            if tr is not None
+            else 0
+        )
+        for site, log_only in targets:
+            msg = ReplicaSyncBatch(
+                coordinator=self.site_id, doc_name=doc_name,
+                batch_id=batch_id, log_only=log_only, entries=list(entries),
+                span=batch_span,
+            )
+            delay = self.network.send(self.site_id, site, msg)
+            if tr is not None:
+                tr.add_flight("send", "net", self.site_id, batch_span,
+                       self.env.now, self.env.now + delay,
+                       {"dst": str(site)})
             self.stats.group_batches_sent += 1
         if bounded:
             timeout_ev = self.env.timeout(self._round_timeout_ms(), value=None)
             yield self.env.any_of([state.event, timeout_ev])
         else:
             yield state.event
+        if tr is not None:
+            tr.end(batch_span, self.env.now)
         self._sync_batches.pop(batch_id, None)
         return state
 
@@ -2589,6 +2783,21 @@ class DTXSite:
             state.event.succeed(None)
 
     def _commit_transaction(self, rec: CoordinatorRecord):
+        tr = self.tracer
+        if tr is None:
+            return (yield from self._commit_transaction_inner(rec))
+        saved = rec.op_span
+        sid = tr.begin(
+            "commit", "2pc", self.site_id, rec.root_span, self.env.now
+        )
+        rec.op_span = sid  # commit-round sends and the sync nest here
+        try:
+            return (yield from self._commit_transaction_inner(rec))
+        finally:
+            tr.end(sid, self.env.now)
+            rec.op_span = saved
+
+    def _commit_transaction_inner(self, rec: CoordinatorRecord):
         """Algorithm 5. Returns True on commit, False to fall into abort."""
         self._check_alive()
         if rec.abort_requested:
@@ -2617,10 +2826,19 @@ class DTXSite:
             return False
         if live:
             self._collect_acks(rec, "commit", live)
+            tr = self.tracer
             for site in live:
-                self.network.send(
-                    self.site_id, site, CommitRequest(tid=rec.tid, coordinator=self.site_id)
+                delay = self.network.send(
+                    self.site_id, site,
+                    CommitRequest(
+                        tid=rec.tid, coordinator=self.site_id,
+                        span=rec.op_span,
+                    ),
                 )
+                if tr is not None:
+                    tr.add_flight("send", "net", self.site_id, rec.op_span,
+                           self.env.now, self.env.now + delay,
+                           {"dst": str(site)})
             if self._maybe_crash("commit-request-sent"):
                 raise _SiteCrashed()
             acks = yield from self._await_acks(rec)
@@ -2646,6 +2864,21 @@ class DTXSite:
         return True
 
     def _abort_transaction(self, rec: CoordinatorRecord):
+        tr = self.tracer
+        if tr is None:
+            return (yield from self._abort_transaction_inner(rec))
+        saved = rec.op_span
+        sid = tr.begin(
+            "abort", "2pc", self.site_id, rec.root_span, self.env.now
+        )
+        rec.op_span = sid
+        try:
+            return (yield from self._abort_transaction_inner(rec))
+        finally:
+            tr.end(sid, self.env.now)
+            rec.op_span = saved
+
+    def _abort_transaction_inner(self, rec: CoordinatorRecord):
         """Algorithm 6. Returns True when the abort executed everywhere;
         False means the transaction *failed* (fail notices were sent)."""
         self._check_alive()
@@ -2671,10 +2904,19 @@ class DTXSite:
             return False
         if live:
             self._collect_acks(rec, "abort", live)
+            tr = self.tracer
             for site in live:
-                self.network.send(
-                    self.site_id, site, AbortRequest(tid=rec.tid, coordinator=self.site_id)
+                delay = self.network.send(
+                    self.site_id, site,
+                    AbortRequest(
+                        tid=rec.tid, coordinator=self.site_id,
+                        span=rec.op_span,
+                    ),
                 )
+                if tr is not None:
+                    tr.add_flight("send", "net", self.site_id, rec.op_span,
+                           self.env.now, self.env.now + delay,
+                           {"dst": str(site)})
             acks = yield from self._await_acks(rec)
             rec.phase = ""
             self._check_alive()
@@ -3148,6 +3390,21 @@ class DTXSite:
         self.env.process(self._run_election(doc_name))
 
     def _run_election(self, doc_name: str):
+        tr = self.tracer
+        if tr is None:
+            return (yield from self._run_election_inner(doc_name))
+        # Elections serve the whole replica set, not one transaction:
+        # global span (parent 0).
+        sid = tr.begin(
+            "election", "election", self.site_id, 0, self.env.now,
+            {"doc": doc_name},
+        )
+        try:
+            return (yield from self._run_election_inner(doc_name))
+        finally:
+            tr.end(sid, self.env.now)
+
+    def _run_election_inner(self, doc_name: str):
         """Elect a new primary for ``doc_name`` over the wire.
 
         One round: query every replica's log tip, wait
@@ -3287,6 +3544,22 @@ class DTXSite:
         self.env.process(_run())
 
     def _catch_up(self, doc_name: str, force_snapshot: bool = False):
+        tr = self.tracer
+        if tr is None:
+            return (yield from self._catch_up_inner(doc_name, force_snapshot))
+        # Anti-entropy repair is lazy background work shared by many
+        # transactions: global span (parent 0), so a committed tree's
+        # "ends after all children" invariant never depends on it.
+        sid = tr.begin(
+            "catch_up", "sync", self.site_id, 0, self.env.now,
+            {"doc": doc_name},
+        )
+        try:
+            return (yield from self._catch_up_inner(doc_name, force_snapshot))
+        finally:
+            tr.end(sid, self.env.now)
+
+    def _catch_up_inner(self, doc_name: str, force_snapshot: bool = False):
         """Close this replica's log gap from the current primary.
 
         Sends a CatchUpRequest describing the local log tip and applies
@@ -3790,9 +4063,17 @@ class DTXSite:
             ok, reason, size, staleness, lsn, cost = self._views.serve(
                 msg.op, msg.epoch, msg.bound_ms
             )
+        tr = self.tracer
+        serve_start = self.env.now if tr is not None else 0.0
         yield (self.costs.scheduler_dispatch_ms + cost)
         if not self.alive:
             return
+        if tr is not None:
+            tr.add(
+                "view_serve", "view", self.site_id, tr.live_parent(msg.span),
+                serve_start, self.env.now,
+                {"doc": msg.op.doc_name, "ok": "1" if ok else "0"},
+            )
         self.network.send(
             self.site_id,
             msg.coordinator,
@@ -3826,6 +4107,23 @@ class DTXSite:
         zero 2PC participation for this read). False when every candidate
         refused or timed out: the caller falls back to the locked path.
         """
+        tr = self.tracer
+        if tr is None:
+            return (yield from self._try_view_read_inner(rec, op, bound_ms))
+        sid = tr.begin(
+            "view_read", "view", self.site_id, rec.op_span, self.env.now,
+            {"doc": op.doc_name},
+        )
+        saved = rec.op_span
+        rec.op_span = sid
+        try:
+            return (yield from self._try_view_read_inner(rec, op, bound_ms))
+        finally:
+            tr.end(sid, self.env.now)
+            rec.op_span = saved
+
+    def _try_view_read_inner(self, rec: CoordinatorRecord, op: Operation,
+                             bound_ms: float):
         epoch = self.catalog.epoch(op.doc_name)
         tried: set = set()
         for view in self.catalog.views_for(op.doc_name):
@@ -3841,7 +4139,8 @@ class DTXSite:
             read_id = self._view_read_seq
             waiter = self.env.event()
             self._view_reads[read_id] = (waiter, host)
-            self.network.send(
+            tr = self.tracer
+            delay = self.network.send(
                 self.site_id,
                 host,
                 ViewReadRequest(
@@ -3851,8 +4150,13 @@ class DTXSite:
                     read_id=read_id,
                     epoch=epoch,
                     bound_ms=bound_ms,
+                    span=rec.op_span,
                 ),
             )
+            if tr is not None:
+                tr.add_flight("send", "net", self.site_id, rec.op_span,
+                       self.env.now, self.env.now + delay,
+                       {"dst": str(host)})
             timeout_ev = self.env.timeout(self.config.catchup_timeout_ms, value=None)
             fired = yield self.env.any_of([waiter, timeout_ev])
             self._view_reads.pop(read_id, None)

@@ -24,6 +24,7 @@ import os
 from dataclasses import dataclass, field
 
 from ..config import SystemConfig
+from ..core.site import aggregate_site_stats
 from ..workload.generator import WorkloadSpec
 from ..xml.serializer import serialize_document
 from .runner import ExperimentConfig, build_cluster
@@ -169,7 +170,10 @@ def availability_sweep(
                 next_free[site_id] = at + params.outage_ms + 1.0
             result = cluster.run(label=cfg.label, drain_ms=params.drain_ms)
             duration_s = max(result.duration_ms, 1e-9) / 1000.0
-            site_stats = result.site_stats.values()
+            # Field-introspected totals (aggregate_site_stats): the named
+            # keys below are views into this dict, so new SiteStats
+            # counters flow into cells without touching this file.
+            totals = aggregate_site_stats(result.site_stats.values())
             out.cells[(mode, crashes)] = {
                 "committed": len(result.committed),
                 "aborted": len(result.aborted),
@@ -180,11 +184,10 @@ def availability_sweep(
                 "promotions": result.promotions,
                 "crashes": result.site_crashes,
                 "recoveries": result.site_recoveries,
-                "catchups": sum(s.catchups for s in site_stats),
-                "catchup_entries": sum(
-                    s.catchup_entries_replayed for s in site_stats
-                ),
+                "catchups": totals["catchups"],
+                "catchup_entries": totals["catchup_entries_replayed"],
                 "divergent_replicas": _divergent_pairs(cluster),
+                "site_totals": totals,
             }
     return out
 

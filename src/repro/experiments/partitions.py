@@ -29,6 +29,7 @@ import os
 from dataclasses import dataclass, field
 
 from ..config import SystemConfig
+from ..core.site import aggregate_site_stats
 from ..workload.generator import WorkloadSpec
 from ..xml.serializer import serialize_document
 from .runner import ExperimentConfig, build_cluster
@@ -168,7 +169,10 @@ def partition_sweep(
         )
         result = cluster.run(label=cfg.label, drain_ms=params.drain_ms)
         duration_s = max(result.duration_ms, 1e-9) / 1000.0
-        site_stats = result.site_stats.values()
+        # Every SiteStats counter, aggregated by field introspection —
+        # the named keys below are views into this dict, not a second
+        # hand-maintained enumeration that could drift.
+        totals = aggregate_site_stats(result.site_stats.values())
         out.cells[lease_timeout] = {
             "committed": len(result.committed),
             "aborted": len(result.aborted),
@@ -177,15 +181,16 @@ def partition_sweep(
             "response_ms": result.mean_response_ms(),
             "messages": result.network_messages,
             "promotions": result.promotions,
-            "suspicions": sum(s.suspicions for s in site_stats),
-            "false_suspicions": sum(s.false_suspicions for s in site_stats),
-            "elections_won": sum(s.elections_won for s in site_stats),
-            "elections_no_quorum": sum(s.elections_no_quorum for s in site_stats),
-            "lease_refusals": sum(s.lease_refusals for s in site_stats),
-            "heartbeats": sum(s.heartbeats_sent for s in site_stats),
-            "compacted_entries": sum(s.log_entries_compacted for s in site_stats),
+            "suspicions": totals["suspicions"],
+            "false_suspicions": totals["false_suspicions"],
+            "elections_won": totals["elections_won"],
+            "elections_no_quorum": totals["elections_no_quorum"],
+            "lease_refusals": totals["lease_refusals"],
+            "heartbeats": totals["heartbeats_sent"],
+            "compacted_entries": totals["log_entries_compacted"],
             "partition_drops": cluster.network.stats.partition_drops,
             "divergent_replicas": _divergent_pairs(cluster),
+            "site_totals": totals,
         }
     return out
 

@@ -36,6 +36,7 @@ import os
 from dataclasses import dataclass, field
 
 from ..config import SystemConfig
+from ..core.site import aggregate_site_stats
 from ..workload.generator import WorkloadSpec
 from ..xml.serializer import serialize_document
 from .runner import ExperimentConfig, build_cluster
@@ -248,9 +249,12 @@ def quorum_sweep(params: QuorumSweepParams | None = None) -> QuorumSweepResult:
             update_committed = [
                 r for r in result.committed if r.label in update_labels
             ]
-            site_stats = result.site_stats.values()
+            # Field-introspected totals (aggregate_site_stats): the named
+            # keys below are views into this dict, so new SiteStats
+            # counters flow into cells without touching this file.
+            totals = aggregate_site_stats(result.site_stats.values())
             committed = max(1, len(result.committed))
-            quorum_read_count = sum(s.quorum_reads for s in site_stats)
+            quorum_read_count = totals["quorum_reads"]
             out.cells[(regime, fault)] = {
                 "committed": len(result.committed),
                 "aborted": len(result.aborted),
@@ -278,19 +282,17 @@ def quorum_sweep(params: QuorumSweepParams | None = None) -> QuorumSweepResult:
                 "window_update_committed": len(
                     [r for r in update_committed if window[0] <= r.finished_ts <= window[1]]
                 ),
-                "sync_acks_awaited": sum(s.sync_acks_awaited for s in site_stats),
-                "sync_acks_per_commit": (
-                    sum(s.sync_acks_awaited for s in site_stats) / committed
-                ),
-                "version_probes": sum(s.version_probes_sent for s in site_stats),
+                "sync_acks_awaited": totals["sync_acks_awaited"],
+                "sync_acks_per_commit": totals["sync_acks_awaited"] / committed,
+                "version_probes": totals["version_probes_sent"],
                 "quorum_reads": quorum_read_count,
-                "read_repairs": sum(s.read_repairs_sent for s in site_stats),
+                "read_repairs": totals["read_repairs_sent"],
                 "read_repair_rate": (
-                    sum(s.read_repairs_sent for s in site_stats)
-                    / max(1, quorum_read_count)
+                    totals["read_repairs_sent"] / max(1, quorum_read_count)
                 ),
-                "lease_refusals": sum(s.lease_refusals for s in site_stats),
+                "lease_refusals": totals["lease_refusals"],
                 "divergent_replicas": _divergent_pairs(cluster),
+                "site_totals": totals,
             }
     return out
 

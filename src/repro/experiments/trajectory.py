@@ -17,7 +17,11 @@ of wall-clock and simulated-metric probes:
   document: wake notices + lock-table operations per committed
   transaction (what ``wake_policy="targeted"`` attacks);
 * **high-write** — non-conflicting writers on one replicated document:
-  replica-sync messages per committed write (what group commit attacks).
+  replica-sync messages per committed write (what group commit attacks);
+* **latency decomposition** — a traced contended run pushed through the
+  :mod:`repro.obs` critical-path analyzer: per-phase shares (lock wait,
+  network, execution, 2PC, ...) of committed response time. Simulated
+  time only, bit-deterministic per feature set.
 
 The simulated metrics are bit-deterministic per feature set; the state
 digests let two runs prove their committed replica states byte-identical.
@@ -38,6 +42,7 @@ import glob
 import hashlib
 import json
 import os
+import platform
 import re
 import sys
 import time
@@ -76,6 +81,19 @@ FEATURE_SETS = {
         "spec_cache": True,
     },
 }
+
+
+def machine_info() -> dict:
+    """The hardware/runtime facts wall-clock numbers depend on.
+
+    Recorded into every BENCH_<n>.json so ``--check`` can tell a real
+    regression from a cross-machine comparison (which only warrants a
+    warning — wall numbers are only comparable on the same hardware).
+    """
+    return {
+        "cpu_count": os.cpu_count() or 0,
+        "python": platform.python_version(),
+    }
 
 
 def bench_rounds(minimum: int = 3) -> int:
@@ -337,6 +355,37 @@ def probe_contended(features: dict, quick: bool = False) -> dict:
 
 
 # ----------------------------------------------------------------------
+# latency decomposition (repro.obs critical-path analyzer)
+# ----------------------------------------------------------------------
+
+def probe_latency_decomposition(features: dict) -> dict:
+    """Trace a small contended run and decompose committed latency.
+
+    Purely simulated-time output (phase shares of the critical path), so
+    the section is bit-deterministic per feature set like the other sim
+    metrics — it answers "where does a committed transaction's response
+    time go under this feature set", not "how fast is this machine".
+    """
+    from ..obs import critical_path_report
+
+    cluster = _build_contended(
+        dict(features, tracing=True),
+        groups=8, clients_per_group=4, tx_per_client=2, ops_per_tx=6,
+    )
+    result = cluster.run()
+    report = critical_path_report(result.spans, per_tx_limit=0)
+    return {
+        "transactions": report["transactions"],
+        "committed": report["committed"],
+        "mean_ms": report["mean_ms"],
+        "p50_ms": report["p50_ms"],
+        "p95_ms": report["p95_ms"],
+        "phase_share": report["phase_share"],
+        "p95_phase_share": report["p95_phase_share"],
+    }
+
+
+# ----------------------------------------------------------------------
 # high-write-load probe (what group commit attacks)
 # ----------------------------------------------------------------------
 
@@ -586,11 +635,13 @@ def run_trajectory(features_name: str = "optimized", quick: bool = False) -> dic
     high_write = probe_high_write(features, quick=quick)
     quorum = probe_quorum(features, quick=quick)
     views = probe_views(features, quick=quick)
+    latency = probe_latency_decomposition(features)
     return {
         "schema": SCHEMA,
         "features": {"name": features_name, **features},
         "quick": quick,
         "rounds": rounds,
+        "machine": machine_info(),
         "macro_params": params,
         "wall": {
             "lock_table_ops_per_s": probe_lock_table(rounds=rounds),
@@ -619,6 +670,7 @@ def run_trajectory(features_name: str = "optimized", quick: bool = False) -> dic
                 for k, v in views.items()
                 if k not in ("wall_seconds", "wall_read_tx_per_s")
             },
+            "latency_decomposition": latency,
         },
     }
 
@@ -673,6 +725,28 @@ def check_regression(baseline: dict, out=sys.stdout) -> int:
     throughput metric regressed by more than the threshold.
     """
     pct = regression_threshold_pct()
+    # Cross-machine comparisons only warn: wall numbers are meaningless
+    # across hardware, and the gate should say so rather than cry wolf.
+    base_machine = baseline.get("machine")
+    if isinstance(base_machine, dict):
+        here = machine_info()
+        drift = [
+            f"{key} {base_machine.get(key)!r} -> {here.get(key)!r}"
+            for key in sorted(here)
+            if base_machine.get(key) != here.get(key)
+        ]
+        if drift:
+            print(
+                "  warning: baseline recorded on different machine "
+                f"({', '.join(drift)}) — wall comparisons may be noise",
+                file=out,
+            )
+    else:
+        print(
+            "  note: baseline has no machine metadata (older schema); "
+            "cannot tell whether this is the same hardware",
+            file=out,
+        )
     baseline_wall = baseline.get("wall")
     if not isinstance(baseline_wall, dict):
         print(
@@ -767,6 +841,14 @@ def render(data: dict, out=sys.stdout) -> None:
               f"{q['quorum_reads']} quorum reads "
               f"({q['read_repair_rate']:.2f} read-repair rate, "
               f"{q['read_repairs']} repairs)", file=out)
+    lat = sim.get("latency_decomposition")
+    if lat:
+        shares = sorted(lat["phase_share"].items(), key=lambda kv: -kv[1])
+        parts = "  ".join(
+            f"{p} {s * 100.0:.1f}%" for p, s in shares if s >= 0.0005
+        )
+        print(f"  latency decomposition (contended, committed): "
+              f"p95 {lat['p95_ms']:.2f} ms; {parts}", file=out)
     v = sim.get("views")
     if v:
         print(f"  views: {v['committed_reads']} reads committed "

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 from ..config import SystemConfig
 from ..core.cluster import DTXCluster
+from ..core.site import aggregate_site_stats
 from ..core.transaction import Operation, Transaction
 from ..sim.rng import substream
 from ..update.operations import ChangeOp, InsertOp
@@ -142,14 +143,19 @@ def _write_tx(rng, params: ViewsSweepParams, label: str, fresh_id: int) -> Trans
 
 
 def _counters(cluster) -> dict:
-    sites = cluster.sites.values()
+    sites = list(cluster.sites.values())
+    # Field-introspected totals (aggregate_site_stats): the named keys
+    # below are views into this dict, so new SiteStats counters flow into
+    # cells without touching this file.
+    totals = aggregate_site_stats(s.stats for s in sites)
     return {
         "lock_ops": sum(s.lock_manager.table.lock_ops for s in sites),
         "commit_requests": cluster.network.stats.by_kind.get("CommitRequest", 0),
-        "served": sum(s.stats.view_reads_served for s in sites),
-        "routed": sum(s.stats.view_reads_routed for s in sites),
-        "fallbacks": sum(s.stats.view_read_fallbacks for s in sites),
-        "staleness_sum": sum(s.stats.view_staleness_sum_ms for s in sites),
+        "served": totals["view_reads_served"],
+        "routed": totals["view_reads_routed"],
+        "fallbacks": totals["view_read_fallbacks"],
+        "staleness_sum": totals["view_staleness_sum_ms"],
+        "site_totals": totals,
     }
 
 
@@ -255,6 +261,8 @@ def _run_cell(params: ViewsSweepParams, regime: str) -> dict:
             ),
             "lock_ops": after["lock_ops"] - before["lock_ops"],
             "commit_requests": after["commit_requests"] - before["commit_requests"],
+            # Cumulative (not per-phase) cluster totals at phase end.
+            "site_totals": after["site_totals"],
         }
     return cells
 

@@ -1,0 +1,285 @@
+"""Critical-path analysis and trace exporters.
+
+Takes the span forest a traced run recorded and answers the question the
+flat counters cannot: *where did each committed transaction's response
+time actually go* — lock waits vs. message transfers vs. participant
+execution vs. 2PC rounds vs. replica sync.
+
+The decomposition is a timeline sweep per transaction tree: every
+instant of the root span ``[submit, outcome]`` is attributed to exactly
+one phase — the deepest span covering that instant, ties broken by a
+fixed phase priority (a lock wait inside an operation round beats the
+round itself). Because each instant is attributed exactly once, the
+per-phase shares of every transaction sum to 100% of its duration by
+construction.
+
+Exports: Chrome-trace-viewer JSON (``chrome://tracing`` / Perfetto's
+"Open trace file"), embedding the critical-path report and the raw span
+forest so a file round-trips through the integrity checker and
+``--diff``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .tracer import Span, transaction_trees
+
+#: span category -> reported phase
+PHASE_OF = {
+    "lock_wait": "lock_wait",
+    "net": "network",
+    "exec": "exec",
+    "sync": "sync",
+    "2pc": "2pc",
+    "view": "view",
+    "op": "coord",
+    "tx": "other",
+}
+
+#: tie-break priority at equal tree depth (higher wins)
+_PRIORITY = {
+    "lock_wait": 7,
+    "exec": 6,
+    "net": 5,
+    "sync": 4,
+    "2pc": 3,
+    "view": 2,
+    "op": 1,
+    "tx": 0,
+}
+
+PHASES = ("lock_wait", "network", "exec", "sync", "2pc", "view", "coord", "other")
+
+
+def _depths(members: list) -> dict[int, int]:
+    by_id = {s.sid: s for s in members}
+    depth: dict[int, int] = {}
+
+    def d(s: Span) -> int:
+        if s.sid in depth:
+            return depth[s.sid]
+        parent = by_id.get(s.parent)
+        depth[s.sid] = 0 if parent is None else d(parent) + 1
+        return depth[s.sid]
+
+    for s in members:
+        d(s)
+    return depth
+
+
+def tx_breakdown(members: list, root: Span) -> dict:
+    """Phase decomposition of one transaction tree.
+
+    ``members`` must include ``root``. Returns per-phase milliseconds
+    plus shares of the root duration; shares sum to 1.0 (up to float
+    rounding) because the sweep attributes each instant exactly once.
+    """
+    t0, t1 = root.start, root.end if root.end is not None else root.start
+    phases = {p: 0.0 for p in PHASES}
+    duration = t1 - t0
+    if duration <= 0:
+        return {
+            "tid": root.label("tx"),
+            "status": root.label("status"),
+            "duration_ms": 0.0,
+            "phases_ms": phases,
+            "shares": {p: 0.0 for p in PHASES},
+        }
+    depth = _depths(members)
+    clipped = []
+    bounds = {t0, t1}
+    for s in members:
+        end = s.end if s.end is not None else t1
+        lo, hi = max(s.start, t0), min(end, t1)
+        if hi > lo:
+            clipped.append((lo, hi, depth[s.sid], _PRIORITY.get(s.cat, 0), s.cat))
+            bounds.add(lo)
+            bounds.add(hi)
+    edges = sorted(bounds)
+    for lo, hi in zip(edges, edges[1:]):
+        mid = (lo + hi) / 2.0
+        best = None
+        for c_lo, c_hi, c_depth, c_prio, c_cat in clipped:
+            if c_lo <= mid < c_hi:
+                key = (c_depth, c_prio)
+                if best is None or key > best[0]:
+                    best = (key, c_cat)
+        cat = best[1] if best else "tx"
+        phases[PHASE_OF.get(cat, "other")] += hi - lo
+    return {
+        "tid": root.label("tx"),
+        "status": root.label("status"),
+        "duration_ms": duration,
+        "phases_ms": phases,
+        "shares": {p: v / duration for p, v in phases.items()},
+    }
+
+
+def _aggregate_shares(breakdowns: list) -> dict:
+    """Duration-weighted mean phase shares over a set of transactions."""
+    total = sum(b["duration_ms"] for b in breakdowns)
+    if total <= 0:
+        return {p: 0.0 for p in PHASES}
+    return {
+        p: sum(b["phases_ms"][p] for b in breakdowns) / total for p in PHASES
+    }
+
+
+def _percentile(values: list, q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[idx]
+
+
+def critical_path_report(spans: list, per_tx_limit: int = 200) -> dict:
+    """The headline analysis: per-phase latency decomposition of a run.
+
+    ``phase_share`` aggregates every committed transaction
+    (duration-weighted); ``p95_phase_share`` aggregates only the slowest
+    transactions (at or above the p95 response time) — the population the
+    paper's latency arguments are about.
+    """
+    trees = transaction_trees(spans)
+    by_id = {s.sid: s for tree in trees.values() for s in tree}
+    breakdowns = []
+    statuses = {"committed": 0, "aborted": 0, "failed": 0}
+    for root_sid, members in sorted(trees.items()):
+        root = by_id[root_sid]
+        status = root.label("status") or "failed"
+        statuses[status] = statuses.get(status, 0) + 1
+        if status == "committed":
+            breakdowns.append(tx_breakdown(members, root))
+    durations = [b["duration_ms"] for b in breakdowns]
+    p95 = _percentile(durations, 0.95)
+    slow = [b for b in breakdowns if b["duration_ms"] >= p95] or breakdowns
+    return {
+        "transactions": sum(statuses.values()),
+        "committed": statuses.get("committed", 0),
+        "aborted": statuses.get("aborted", 0),
+        "failed": statuses.get("failed", 0),
+        "mean_ms": sum(durations) / len(durations) if durations else 0.0,
+        "p50_ms": _percentile(durations, 0.5),
+        "p95_ms": p95,
+        "phase_share": _aggregate_shares(breakdowns),
+        "p95_phase_share": _aggregate_shares(slow),
+        "per_tx": breakdowns[:per_tx_limit],
+    }
+
+
+def render_report(report: dict, title: str = "critical path") -> list[str]:
+    """Human-readable report lines (the CLI's stdout section)."""
+    lines = [
+        f"-- {title} --",
+        (
+            f"transactions: {report['transactions']} "
+            f"(committed {report['committed']}, aborted {report['aborted']}, "
+            f"failed {report['failed']})"
+        ),
+        (
+            f"committed response ms: mean {report['mean_ms']:.2f}  "
+            f"p50 {report['p50_ms']:.2f}  p95 {report['p95_ms']:.2f}"
+        ),
+    ]
+    for key, label in (("phase_share", "all committed"), ("p95_phase_share", "p95 tail")):
+        shares = report.get(key) or {}
+        parts = [
+            f"{phase} {share * 100.0:.1f}%"
+            for phase, share in sorted(shares.items(), key=lambda kv: -kv[1])
+            if share >= 0.0005
+        ]
+        lines.append(f"{label}: " + ("  ".join(parts) if parts else "no data"))
+    return lines
+
+
+def diff_reports(a: dict, b: dict) -> dict:
+    """Phase-share deltas between two critical-path reports (b - a)."""
+    out = {"phases": {}, "p95_ms": (a.get("p95_ms", 0.0), b.get("p95_ms", 0.0))}
+    shares_a = a.get("phase_share") or {}
+    shares_b = b.get("phase_share") or {}
+    for phase in PHASES:
+        sa = shares_a.get(phase, 0.0)
+        sb = shares_b.get(phase, 0.0)
+        out["phases"][phase] = {"a": sa, "b": sb, "delta": sb - sa}
+    return out
+
+
+def render_diff(diff: dict, label_a: str = "A", label_b: str = "B") -> list[str]:
+    lines = [f"-- critical-path diff ({label_a} -> {label_b}) --"]
+    p95_a, p95_b = diff["p95_ms"]
+    lines.append(f"p95 response ms: {p95_a:.2f} -> {p95_b:.2f}")
+    for phase, cell in sorted(
+        diff["phases"].items(), key=lambda kv: -abs(kv[1]["delta"])
+    ):
+        if abs(cell["delta"]) < 0.0005 and cell["a"] < 0.0005 and cell["b"] < 0.0005:
+            continue
+        lines.append(
+            f"  {phase:<10} {cell['a'] * 100.0:6.1f}% -> {cell['b'] * 100.0:6.1f}%  "
+            f"({cell['delta'] * 100.0:+.1f} pts)"
+        )
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Chrome trace export
+# ----------------------------------------------------------------------
+
+
+def chrome_trace(
+    spans: list, meta: Optional[dict] = None, report: Optional[dict] = None
+) -> dict:
+    """Chrome Trace Event Format JSON (dict) for ``chrome://tracing``.
+
+    One process lane per site; spans become complete ("X") events with
+    simulated milliseconds mapped to trace microseconds. The raw span
+    forest rides along under ``"spans"`` (unknown top-level keys are
+    ignored by the viewers) so exported files round-trip through the
+    integrity checker and ``--diff`` without loss.
+    """
+    sites = sorted({str(s.site) for s in spans})
+    pid_of = {site: i + 1 for i, site in enumerate(sites)}
+    events: list[dict] = []
+    for site, pid in pid_of.items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"site {site}"},
+            }
+        )
+    for s in spans:
+        end = s.end if s.end is not None else s.start
+        args = {"sid": s.sid, "parent": s.parent}
+        if s.labels:
+            args.update({str(k): str(v) for k, v in s.labels.items()})
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.cat,
+                "ph": "X",
+                "ts": s.start * 1000.0,  # sim ms -> trace µs
+                "dur": (end - s.start) * 1000.0,
+                "pid": pid_of[str(s.site)],
+                "tid": 1,
+                "args": args,
+            }
+        )
+    out = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "spans": [s.to_dict() for s in spans],
+    }
+    if meta:
+        out["meta"] = meta
+    if report is not None:
+        out["criticalPath"] = report
+    return out
+
+
+def spans_from_chrome(data: dict) -> list:
+    """Rebuild :class:`Span` objects from an exported trace file dict."""
+    return [Span.from_dict(d) for d in data.get("spans", [])]
